@@ -1,0 +1,49 @@
+"""Shared configuration for the benchmark harness.
+
+Every table and figure of the paper's evaluation has a bench module here.
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_JOBS`` — evaluation-trace length (default 3000; the paper
+  uses 95 000 — set that for a full-scale run, it takes tens of minutes).
+* ``REPRO_BENCH_SEED`` — workload/agent seed (default 0).
+* ``REPRO_BENCH_OUT`` — directory for rendered tables/CSV artifacts
+  (default ``benchmarks/results``).
+
+Benchmarks print the paper-style tables to stdout (run pytest with ``-s``
+to see them) and always write them to the output directory.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "3000"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+OUT_DIR = Path(os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent / "results"))
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    return BENCH_JOBS
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR
+
+
+def save_artifact(out_dir: Path, name: str, text: str) -> None:
+    """Write a rendered table/CSV and echo it to stdout."""
+    path = out_dir / name
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)

@@ -1,0 +1,87 @@
+"""Experiment E1 — Table I.
+
+Regenerates the paper's summary table (accumulated energy, accumulated
+latency, average power at a fixed job count for M = 30 and M = 40 under
+round-robin / DRL-only / hierarchical) and checks the *shape* claims:
+
+* round-robin has the lowest latency and the highest energy/power;
+* both DRL systems save substantial power versus round-robin;
+* the hierarchical framework does not lose to DRL-only on energy.
+
+Paper reference values (95 000 jobs): round-robin 441.47 kWh / 85.20e6 s
+/ 2627.79 W; DRL-only 242.25 / 109.73 / 1441.96; hierarchical 203.21 /
+92.53 / 1209.58 (M = 30).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.harness.claims import evaluate_claims
+from repro.harness.table1 import render_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def table1_rows(bench_jobs, bench_seed):
+    return run_table1(n_jobs=bench_jobs, cluster_sizes=(30, 40), seed=bench_seed)
+
+
+def test_bench_table1(benchmark, table1_rows, out_dir, bench_jobs):
+    """Timing proxy: one evaluation cell (round-robin, M=30)."""
+    from repro.harness.runner import make_system, run_system
+    from repro.harness.table1 import default_config, make_traces
+
+    eval_jobs, _ = make_traces(min(bench_jobs, 1000), 30, 0)
+    system = make_system("round-robin", default_config(30))
+
+    benchmark.pedantic(
+        lambda: run_system(system, eval_jobs), rounds=2, iterations=1
+    )
+
+    text = render_table1(table1_rows)
+    for m in (30, 40):
+        text += "\n" + evaluate_claims(table1_rows, num_servers=m).summary()
+    save_artifact(out_dir, "table1.txt", text)
+
+    # Shape assertions (also run standalone below under plain pytest;
+    # repeated here because --benchmark-only skips fixture-less tests).
+    for m in (30, 40):
+        by_system = {r.system: r for r in table1_rows if r.num_servers == m}
+        rr = by_system["round-robin"]
+        assert rr.latency_1e6_s == min(r.latency_1e6_s for r in by_system.values())
+        assert rr.energy_kwh == max(r.energy_kwh for r in by_system.values())
+        report = evaluate_claims(table1_rows, num_servers=m)
+        assert report.power_saving_vs_round_robin > 0.20
+        assert report.energy_saving_vs_drl > -0.10
+
+
+@pytest.mark.parametrize("m", [30, 40])
+def test_shape_round_robin_extremes(table1_rows, m):
+    by_system = {r.system: r for r in table1_rows if r.num_servers == m}
+    rr, drl, hier = (
+        by_system["round-robin"],
+        by_system["drl-only"],
+        by_system["hierarchical"],
+    )
+    assert rr.latency_1e6_s == min(r.latency_1e6_s for r in by_system.values())
+    assert rr.power_w == max(r.power_w for r in by_system.values())
+    assert rr.energy_kwh == max(r.energy_kwh for r in by_system.values())
+
+
+@pytest.mark.parametrize("m", [30, 40])
+def test_shape_drl_saves_power(table1_rows, m):
+    report = evaluate_claims(table1_rows, num_servers=m)
+    # Paper: 53.97% (M=30) / 59.99% (M=40); we require a substantial
+    # fraction of that on the simulated substrate.
+    assert report.power_saving_vs_round_robin > 0.20
+    assert report.energy_saving_vs_round_robin > 0.20
+
+
+@pytest.mark.parametrize("m", [30, 40])
+def test_shape_hierarchical_vs_drl_only(table1_rows, m):
+    report = evaluate_claims(table1_rows, num_servers=m)
+    # Paper: hierarchical beats DRL-only on both energy (16.12%) and
+    # latency (16.67%). RL training is stochastic at bench scale, so we
+    # assert it does not *lose* meaningfully on energy.
+    assert report.energy_saving_vs_drl > -0.10

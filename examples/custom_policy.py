@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Extending the framework with your own broker and power policy.
+
+The simulator is policy-agnostic: anything implementing
+``repro.sim.Broker`` can dispatch jobs, and anything implementing
+``repro.sim.PowerPolicy`` can manage a server's sleep state. This example
+implements
+
+* ``PowerAwareBroker`` — prefers awake servers with free capacity and
+  only wakes a sleeping server when every awake one is saturated;
+* ``HysteresisPolicy`` — a timeout that adapts with a simple multiplicative
+  hysteresis rule (no RL): double the timeout after a "premature sleep"
+  (the server was woken shortly after sleeping), halve it after a long
+  undisturbed sleep;
+
+and races them against the paper's systems.
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro.core.config import ExperimentConfig, GlobalTierConfig
+from repro.core.hierarchical import HierarchicalSystem
+from repro.harness.report import format_table
+from repro.harness.runner import make_system, run_system
+from repro.harness.table1 import make_traces
+from repro.sim import Broker, Cluster, Job, PowerPolicy, Server
+
+
+class PowerAwareBroker(Broker):
+    """Greedy: first awake server where the job fits with an empty queue,
+    else the awake server with the fewest jobs, else wake one."""
+
+    def select_server(self, job: Job, cluster: Cluster, now: float) -> int:
+        awake = [s for s in cluster.servers if s.state.is_on]
+        for server in awake:
+            if not server.pending and server.fits(job):
+                return server.server_id
+        asleep = [s for s in cluster.servers if not s.state.is_on]
+        if asleep:
+            return asleep[0].server_id
+        return min(awake, key=lambda s: s.jobs_in_system).server_id
+
+
+class HysteresisPolicy(PowerPolicy):
+    """Adaptive timeout without RL: classic multiplicative hysteresis."""
+
+    def __init__(self, initial: float = 60.0, floor: float = 5.0, cap: float = 600.0):
+        self.timeout = initial
+        self.floor = floor
+        self.cap = cap
+        self._slept_at: float | None = None
+
+    def on_idle(self, server: Server, now: float) -> float:
+        return self.timeout
+
+    def on_active(self, server: Server, now: float, from_sleep: bool) -> None:
+        if not from_sleep or self._slept_at is None:
+            return
+        asleep_for = now - self._slept_at
+        if asleep_for < 2 * (server.power_model.t_on + server.power_model.t_off):
+            # Premature sleep: we paid the transitions for almost nothing.
+            self.timeout = min(self.timeout * 2.0, self.cap)
+        else:
+            self.timeout = max(self.timeout / 2.0, self.floor)
+        self._slept_at = None
+
+    def on_job_assigned(self, server: Server, job: Job, now: float) -> None:
+        if not server.state.is_on and self._slept_at is None:
+            self._slept_at = now
+
+
+def main() -> None:
+    num_servers = 6
+    config = ExperimentConfig(
+        num_servers=num_servers, global_tier=GlobalTierConfig(num_groups=2), seed=0
+    )
+    eval_jobs, train_traces = make_traces(1200, num_servers, seed=0)
+
+    custom = HierarchicalSystem(
+        name="custom (greedy + hysteresis)",
+        broker=PowerAwareBroker(),
+        policies=[HysteresisPolicy() for _ in range(num_servers)],
+        config=config,
+        initially_on=False,
+    )
+
+    rows = []
+    for system in (
+        make_system("round-robin", config),
+        make_system("hierarchical", config, train_traces),
+        custom,
+    ):
+        r = run_system(system, eval_jobs)
+        rows.append([
+            system.name, f"{r.energy_kwh:.2f}", f"{r.mean_latency:.0f}",
+            f"{r.average_power:.0f}",
+        ])
+
+    print(format_table(
+        ["system", "energy (kWh)", "mean latency (s)", "avg power (W)"], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Fig.-10-style power/latency trade-off sweep.
+
+Sweeps the local tier's weight w (power vs. latency in Eqn. 5) for the
+hierarchical framework and compares against the same DRL allocation tier
+paired with fixed 30/60/90 s timeouts — the paper's Fig. 10. Prints the
+curve points as CSV and the frontier savings.
+
+Run:  python examples/tradeoff_sweep.py [n_jobs]
+"""
+
+import sys
+
+from repro.harness.tradeoff import (
+    frontier_savings,
+    pareto_front,
+    render_tradeoff_csv,
+    run_tradeoff,
+)
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+
+    print(f"Sweeping w and fixed timeouts on M=30, {n_jobs} jobs "
+          "(this trains the global tier once, then reuses it)...\n")
+    points = run_tradeoff(
+        n_jobs=n_jobs,
+        num_servers=30,
+        seed=0,
+        w_sweep=(0.1, 0.3, 0.5, 0.7, 0.9),
+        timeouts=(30.0, 60.0, 90.0),
+    )
+
+    print(render_tradeoff_csv(points))
+
+    print("\nPareto-optimal points:")
+    for p in pareto_front(points):
+        print(
+            f"  {p.curve:14s} param={p.parameter:<5g} "
+            f"energy={p.energy_per_job_wh:.3f} Wh/job "
+            f"latency={p.mean_latency:.0f} s"
+        )
+
+    # "fixed" selects the union of the fixed-timeout points — the combined
+    # baseline frontier (one timeout alone is a single point and cannot be
+    # interpolated against).
+    savings = frontier_savings(points, "hierarchical", "fixed")
+    print(
+        f"\nvs combined fixed-timeout frontier: max latency saving at equal "
+        f"energy {savings['latency_saving']:+.1%}; max energy saving at "
+        f"equal latency {savings['energy_saving']:+.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

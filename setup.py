@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs cannot build; this classic setup.py enables
+``pip install -e . --no-use-pep517`` (legacy ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — reproduction of "A Hierarchical Framework of Cloud Resource
+Allocation and Power Management Using Deep Reinforcement Learning"
+(Liu et al., ICDCS 2017).
+
+Subpackages
+-----------
+* :mod:`repro.nn` — pure-NumPy neural networks (dense / autoencoder /
+  LSTM, Adam, gradient clipping).
+* :mod:`repro.sim` — continuous-time, event-driven cluster simulator
+  with power-managed servers.
+* :mod:`repro.workload` — Google-trace I/O and synthetic Google-like
+  workload generation.
+* :mod:`repro.rl` — SMDP Q-learning, exploration policies, replay.
+* :mod:`repro.core` — the paper's hierarchical framework: DRL global
+  tier + LSTM/RL local tier, plus all baselines.
+* :mod:`repro.harness` — experiment harness regenerating every table
+  and figure of the paper's evaluation.
+* :mod:`repro.cli` — ``python -m repro`` command-line entry point.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,131 @@
+"""Command-line interface: regenerate paper experiments from a shell.
+
+Usage::
+
+    python -m repro table1   [--jobs N] [--servers 30,40] [--seed S]
+    python -m repro fig8     [--jobs N] [--seed S] [--out FILE]
+    python -m repro fig9     [--jobs N] [--seed S] [--out FILE]
+    python -m repro fig10    [--jobs N] [--seed S] [--out FILE]
+    python -m repro workload [--jobs N] [--seed S] [--out FILE]
+
+``table1`` prints the paper-style summary table plus the recomputed
+headline claims; the figure commands print (or write) the CSV series the
+paper plots; ``workload`` generates and characterizes a synthetic trace
+(optionally writing it as a canonical trace CSV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _add_common(parser: argparse.ArgumentParser, default_jobs: int) -> None:
+    parser.add_argument("--jobs", type=int, default=default_jobs,
+                        help=f"evaluation trace length (default {default_jobs})")
+    parser.add_argument("--seed", type=int, default=0, help="workload/agent seed")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write output to this file instead of stdout")
+
+
+def _emit(text: str, out: Path | None) -> None:
+    if out is None:
+        print(text)
+    else:
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.harness.claims import evaluate_claims
+    from repro.harness.table1 import render_table1, run_table1
+
+    sizes = tuple(int(s) for s in args.servers.split(","))
+    rows = run_table1(n_jobs=args.jobs, cluster_sizes=sizes, seed=args.seed)
+    text = render_table1(rows)
+    for m in sizes:
+        text += "\n" + evaluate_claims(rows, num_servers=m).summary()
+    _emit(text, args.out)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace, which: str) -> int:
+    from repro.harness.figures import render_series_csv, run_figure8, run_figure9
+
+    runner = run_figure8 if which == "fig8" else run_figure9
+    figure = runner(n_jobs=args.jobs, seed=args.seed)
+    text = (
+        "# panel (a): accumulated latency\n"
+        + render_series_csv(figure, "latency")
+        + "\n# panel (b): energy\n"
+        + render_series_csv(figure, "energy")
+    )
+    _emit(text, args.out)
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    from repro.harness.tradeoff import frontier_savings, render_tradeoff_csv, run_tradeoff
+
+    points = run_tradeoff(n_jobs=args.jobs, seed=args.seed)
+    savings = frontier_savings(points, "hierarchical", "fixed")
+    text = render_tradeoff_csv(points) + (
+        f"\n# vs combined fixed-timeout frontier: latency saving "
+        f"{savings['latency_saving']:+.1%}, energy saving "
+        f"{savings['energy_saving']:+.1%}"
+    )
+    _emit(text, args.out)
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workload.stats import characterize
+    from repro.workload.synthetic import SyntheticTraceConfig, generate_trace
+    from repro.workload.trace import write_trace_csv
+
+    base = SyntheticTraceConfig()
+    config = SyntheticTraceConfig(n_jobs=args.jobs, horizon=args.jobs / base.base_rate)
+    jobs = generate_trace(config, seed=args.seed)
+    print(characterize(jobs).summary())
+    if args.out is not None:
+        count = write_trace_csv(jobs, args.out)
+        print(f"wrote {count} jobs to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from Liu et al., ICDCS 2017.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table1 = sub.add_parser("table1", help="Table I + headline claims")
+    _add_common(p_table1, default_jobs=3000)
+    p_table1.add_argument("--servers", default="30,40",
+                          help="comma-separated cluster sizes (default 30,40)")
+
+    for name, jobs in (("fig8", 3000), ("fig9", 3000), ("fig10", 1500)):
+        _add_common(sub.add_parser(name, help=f"{name} series"), default_jobs=jobs)
+
+    p_wl = sub.add_parser("workload", help="generate/characterize a trace")
+    _add_common(p_wl, default_jobs=5000)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command in ("fig8", "fig9"):
+        return _cmd_figure(args, args.command)
+    if args.command == "fig10":
+        return _cmd_fig10(args)
+    if args.command == "workload":
+        return _cmd_workload(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

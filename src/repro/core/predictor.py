@@ -1,0 +1,220 @@
+"""LSTM-based workload predictor (Sec. VI-A).
+
+Predicts the next job inter-arrival time at a server from the previous 35
+inter-arrival times, then discretizes the prediction into ``n`` predefined
+categories — those categories are the workload component of the power
+manager's RL state.
+
+The inter-arrival sequence observed by each server is the *result of the
+global tier's allocations*, so each server keeps its own
+:class:`InterArrivalTracker`, while the LSTM network itself (trained
+offline on trace inter-arrivals, refined online if enabled) may be shared
+across servers — the same weight-sharing rationale the paper applies to
+the Sub-Q networks.
+
+Before the network has been fitted (or while a server has seen fewer than
+``lookback`` arrivals) the predictor falls back to the last observed
+inter-arrival, which mirrors the simple predictors of earlier DPM work.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.config import PredictorConfig
+from repro.nn.lstm import LSTMNetwork
+
+
+class InterArrivalTracker:
+    """Per-server sliding window of observed inter-arrival times."""
+
+    def __init__(self, lookback: int) -> None:
+        if lookback < 1:
+            raise ValueError(f"lookback must be positive, got {lookback}")
+        self.lookback = int(lookback)
+        self._window: deque[float] = deque(maxlen=lookback)
+        self._last_arrival: float | None = None
+        self.observations = 0
+
+    def observe(self, now: float) -> float | None:
+        """Record an arrival; returns the new inter-arrival time (or None).
+
+        The first arrival establishes the reference point and yields None.
+        """
+        if self._last_arrival is None:
+            self._last_arrival = now
+            return None
+        delta = now - self._last_arrival
+        if delta < 0:
+            raise ValueError(f"arrival time went backwards: {now} < {self._last_arrival}")
+        self._last_arrival = now
+        self._window.append(delta)
+        self.observations += 1
+        return delta
+
+    def new_run(self) -> None:
+        """Reset the arrival reference for a fresh simulation run.
+
+        The observed window is kept — inter-arrival statistics carry over
+        between runs — but the absolute-time anchor does not.
+        """
+        self._last_arrival = None
+
+    @property
+    def ready(self) -> bool:
+        """Whether a full look-back window is available."""
+        return len(self._window) == self.lookback
+
+    def window(self) -> np.ndarray:
+        """Current window (may be shorter than ``lookback``)."""
+        return np.array(self._window, dtype=np.float64)
+
+    def last(self) -> float | None:
+        """Most recent inter-arrival time, if any."""
+        return self._window[-1] if self._window else None
+
+
+class WorkloadPredictor:
+    """LSTM inter-arrival predictor with category discretization.
+
+    Parameters
+    ----------
+    config:
+        Look-back length, hidden units, category count, and normalization
+        bounds. Inter-arrival times are log-transformed before entering
+        the network (they span orders of magnitude) when
+        ``config.log_scale`` is set.
+    """
+
+    def __init__(
+        self,
+        config: PredictorConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.config = config if config is not None else PredictorConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.network = LSTMNetwork(
+            input_dim=1,
+            hidden_dim=self.config.hidden_units,
+            output_dim=1,
+            init=self.config.init,
+            rng=self.rng,
+        )
+        self.fitted = False
+        # Category boundaries: log-spaced between the normalization bounds,
+        # n_categories bins => n_categories - 1 interior edges.
+        self._edges = np.logspace(
+            np.log10(self.config.min_interarrival),
+            np.log10(self.config.max_interarrival),
+            self.config.n_categories + 1,
+        )[1:-1]
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+
+    def _clip(self, seconds: np.ndarray) -> np.ndarray:
+        return np.clip(seconds, self.config.min_interarrival, self.config.max_interarrival)
+
+    def transform(self, seconds: np.ndarray) -> np.ndarray:
+        """Map inter-arrival seconds into the network's [0, 1] input space."""
+        seconds = self._clip(np.asarray(seconds, dtype=np.float64))
+        if not self.config.log_scale:
+            lo, hi = self.config.min_interarrival, self.config.max_interarrival
+            return (seconds - lo) / (hi - lo)
+        lo = np.log(self.config.min_interarrival)
+        hi = np.log(self.config.max_interarrival)
+        return (np.log(seconds) - lo) / (hi - lo)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        """Map network outputs back to seconds (clipped to the bounds)."""
+        values = np.clip(np.asarray(values, dtype=np.float64), 0.0, 1.0)
+        if not self.config.log_scale:
+            lo, hi = self.config.min_interarrival, self.config.max_interarrival
+            return lo + values * (hi - lo)
+        lo = np.log(self.config.min_interarrival)
+        hi = np.log(self.config.max_interarrival)
+        return np.exp(lo + values * (hi - lo))
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def make_windows(self, series: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Sliding (window, next-value) pairs from an inter-arrival series.
+
+        Raises
+        ------
+        ValueError
+            If the series is shorter than ``lookback + 1``.
+        """
+        series = np.asarray(series, dtype=np.float64)
+        look = self.config.lookback
+        if series.size < look + 1:
+            raise ValueError(
+                f"series of length {series.size} too short for lookback {look}"
+            )
+        normalized = self.transform(series)
+        n = series.size - look
+        x = np.empty((n, look, 1))
+        y = np.empty((n, 1))
+        for i in range(n):
+            x[i, :, 0] = normalized[i : i + look]
+            y[i, 0] = normalized[i + look]
+        return x, y
+
+    def fit(self, series: np.ndarray, epochs: int | None = None) -> list[float]:
+        """Train the LSTM on an inter-arrival series; returns loss history."""
+        x, y = self.make_windows(series)
+        history = self.network.fit(
+            x,
+            y,
+            epochs=epochs if epochs is not None else self.config.epochs,
+            batch_size=self.config.batch_size,
+            lr=self.config.learning_rate,
+            rng=self.rng,
+        )
+        self.fitted = True
+        return history
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def predict_seconds(self, window_seconds: np.ndarray) -> float:
+        """Predict the next inter-arrival time from a full look-back window."""
+        window_seconds = np.asarray(window_seconds, dtype=np.float64)
+        if window_seconds.size != self.config.lookback:
+            raise ValueError(
+                f"window of length {window_seconds.size} != lookback "
+                f"{self.config.lookback}"
+            )
+        x = self.transform(window_seconds)[None, :, None]
+        out = self.network.predict(x)[0, 0]
+        return float(self.inverse_transform(np.array([out]))[0])
+
+    def predict(self, tracker: InterArrivalTracker) -> float:
+        """Best-available next inter-arrival estimate for a server.
+
+        Uses the LSTM when fitted and the tracker has a full window;
+        otherwise falls back to the last observation (or the geometric
+        middle of the normalization range if nothing has been seen).
+        """
+        if self.fitted and tracker.ready:
+            return self.predict_seconds(tracker.window())
+        last = tracker.last()
+        if last is not None:
+            return float(self._clip(np.array([last]))[0])
+        return float(
+            np.sqrt(self.config.min_interarrival * self.config.max_interarrival)
+        )
+
+    def categorize(self, seconds: float) -> int:
+        """Discretize a prediction into one of ``n_categories`` RL states."""
+        return int(np.searchsorted(self._edges, seconds, side="right"))
+
+    def predict_category(self, tracker: InterArrivalTracker) -> int:
+        """Predict and discretize in one step (the power manager's input)."""
+        return self.categorize(self.predict(tracker))

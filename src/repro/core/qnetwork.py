@@ -1,0 +1,339 @@
+"""The paper's deep Q-network: autoencoder + weight-shared Sub-Q (Fig. 6).
+
+For estimating the Q values of allocating a job to the servers in group
+``k``, the Sub-Q network consumes
+
+    [ raw state of group k  |  encoded states of all other groups  |  job ]
+
+so the target group's own state is seen at full resolution while the rest
+of the cluster is compressed by the autoencoder — "the dimension
+difference ... reflects the importance of the targeting server group's
+own state".
+
+Weight sharing is literal: there is exactly *one* autoencoder and *one*
+Sub-Q MLP, applied once per group. Any training sample therefore trains
+the (shared) Sub-Q regardless of which group its action lies in, and the
+parameter count is independent of K — the two benefits the paper claims.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.state import StateEncoder
+from repro.nn.autoencoder import Autoencoder
+from repro.nn.layers import Module
+from repro.nn.mlp import MLP
+from repro.nn.optim import Adam, clip_grad_norm
+
+
+class FlatQNetwork(Module):
+    """The paper's strawman: one plain feed-forward network over the full
+    state with M outputs ("a conventional feed-forward neural network to
+    directly output Q value estimates").
+
+    Duck-type compatible with :class:`HierarchicalQNetwork` (predict /
+    q_values / train_step / make_optimizer / clone), so the ablation bench
+    can swap it into :class:`~repro.core.global_tier.DRLGlobalBroker`.
+    """
+
+    def __init__(
+        self,
+        encoder: StateEncoder,
+        hidden: tuple[int, ...] = (128,),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.encoder = encoder
+        self.num_actions = encoder.num_servers
+        self.hidden = tuple(hidden)
+        self.net = MLP(
+            [encoder.state_dim, *hidden, self.num_actions],
+            hidden_activation="elu",
+            output_activation="identity",
+            rng=rng,
+            name="flatq",
+        )
+
+    def predict(self, states: np.ndarray) -> np.ndarray:
+        """Q-value estimates for all M actions; shape ``(batch, M)``."""
+        return self.net.predict(states)
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Q-vector for a single state; shape ``(M,)``."""
+        return self.net.predict(state[None, :])[0]
+
+    def make_optimizer(self, lr: float = 1e-3) -> Adam:
+        return Adam(self.parameters(), lr=lr)
+
+    def train_step(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        targets: np.ndarray,
+        optimizer: Adam,
+        max_grad_norm: float | None = 10.0,
+        huber_delta: float | None = None,
+    ) -> float:
+        """Minibatch regression of the chosen-action outputs to ``targets``."""
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        actions = np.asarray(actions, dtype=np.int64).reshape(-1)
+        targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+        n = states.shape[0]
+        q, caches = self.net.forward(states)
+        rows = np.arange(n)
+        err = q[rows, actions] - targets
+        if huber_delta is None:
+            loss = float(np.sum(err**2)) / n
+            derr = 2.0 * err
+        else:
+            abs_err = np.abs(err)
+            quad = np.minimum(abs_err, huber_delta)
+            loss = float(np.sum(0.5 * quad**2 + huber_delta * (abs_err - quad))) / n
+            derr = np.clip(err, -huber_delta, huber_delta)
+        dq = np.zeros_like(q)
+        dq[rows, actions] = derr / n
+        self.zero_grad()
+        self.net.backward(dq, caches)
+        if max_grad_norm is not None:
+            clip_grad_norm(self.parameters(), max_grad_norm)
+        optimizer.step()
+        return loss
+
+    def pretrain_autoencoder(self, states: np.ndarray, **kwargs) -> list[float]:
+        """No autoencoder in the flat architecture; offline phase no-op."""
+        return []
+
+    def clone(self, rng: np.random.Generator | None = None) -> "FlatQNetwork":
+        twin = FlatQNetwork(
+            self.encoder,
+            hidden=self.hidden,
+            rng=rng if rng is not None else np.random.default_rng(0),
+        )
+        twin.load_state_dict(self.state_dict())
+        return twin
+
+
+class HierarchicalQNetwork(Module):
+    """Q(s, a) estimator over all M server actions.
+
+    Parameters
+    ----------
+    encoder:
+        The state encoder (provides the group geometry).
+    autoencoder_hidden:
+        Encoder widths of the shared autoencoder (paper: 30, 15).
+    subq_hidden:
+        Hidden widths of the shared Sub-Q network (paper: one layer of
+        128 ELUs) followed by a linear output with one unit per server in
+        a group.
+    """
+
+    def __init__(
+        self,
+        encoder: StateEncoder,
+        autoencoder_hidden: tuple[int, ...] = (30, 15),
+        subq_hidden: tuple[int, ...] = (128,),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.encoder = encoder
+        self.num_groups = encoder.num_groups
+        self.group_dim = encoder.group_dim
+        self.group_size = encoder.group_size
+        self.job_dim = encoder.job_dim
+        self.num_actions = encoder.num_servers
+
+        self.autoencoder = Autoencoder(
+            self.group_dim, autoencoder_hidden, activation="elu", rng=rng
+        )
+        self.code_dim = self.autoencoder.code_dim
+        subq_in = self.group_dim + (self.num_groups - 1) * self.code_dim + self.job_dim
+        self.subq = MLP(
+            [subq_in, *subq_hidden, self.group_size],
+            hidden_activation="elu",
+            output_activation="identity",
+            rng=rng,
+            name="subq",
+        )
+
+    # ------------------------------------------------------------------
+    # Input assembly
+    # ------------------------------------------------------------------
+
+    def _other_groups(self, k: int) -> list[int]:
+        """The other groups in a fixed cyclic order starting after k.
+
+        A deterministic, k-relative order keeps the shared Sub-Q's input
+        layout consistent across groups.
+        """
+        return [(k + offset) % self.num_groups for offset in range(1, self.num_groups)]
+
+    def _assemble(
+        self,
+        k: int,
+        groups: np.ndarray,
+        codes: np.ndarray,
+        jobs: np.ndarray,
+        sample_idx: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Build the Sub-Q_k input ``[raw g_k | codes of others | job]``."""
+        idx = slice(None) if sample_idx is None else sample_idx
+        parts = [groups[k][idx]]
+        parts.extend(codes[other][idx] for other in self._other_groups(k))
+        parts.append(jobs[idx])
+        return np.concatenate(parts, axis=1)
+
+    def _encode_all(self, groups: np.ndarray) -> np.ndarray:
+        """Codes for every group: shape (K, batch, code_dim)."""
+        batch = groups.shape[1]
+        flat = groups.reshape(-1, self.group_dim)
+        codes = self.autoencoder.encode(flat)
+        return codes.reshape(self.num_groups, batch, self.code_dim)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def predict(self, states: np.ndarray) -> np.ndarray:
+        """Q-value estimates for all M actions; shape ``(batch, M)``."""
+        groups, jobs = self.encoder.split(states)
+        codes = self._encode_all(groups)
+        batch = jobs.shape[0]
+        out = np.empty((batch, self.num_actions))
+        for k in range(self.num_groups):
+            q_k = self.subq.predict(self._assemble(k, groups, codes, jobs))
+            out[:, k * self.group_size : (k + 1) * self.group_size] = q_k
+        return out
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Q-vector for a single state; shape ``(M,)``."""
+        return self.predict(state[None, :])[0]
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def make_optimizer(self, lr: float = 1e-3) -> Adam:
+        """Adam over the shared parameters (each shared tensor once)."""
+        return Adam(self.parameters(), lr=lr)
+
+    def train_step(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        targets: np.ndarray,
+        optimizer: Adam,
+        max_grad_norm: float | None = 10.0,
+        huber_delta: float | None = None,
+    ) -> float:
+        """One minibatch update of Q(s, a) toward ``targets``.
+
+        The regression error of each sample's *chosen-action* output is
+        minimized (MSE, or Huber when ``huber_delta`` is given);
+        gradients flow into the shared Sub-Q directly and into the shared
+        autoencoder through the code inputs of the non-target groups.
+        Returns the minibatch loss.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        actions = np.asarray(actions, dtype=np.int64).reshape(-1)
+        targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+        n = states.shape[0]
+        if actions.shape[0] != n or targets.shape[0] != n:
+            raise ValueError(
+                f"batch size mismatch: {n} states, {actions.shape[0]} actions, "
+                f"{targets.shape[0]} targets"
+            )
+        groups, jobs = self.encoder.split(states)
+
+        # Forward the shared encoder once per group, keeping caches so the
+        # Q-loss can flow back into it.
+        enc_caches: list[list[dict[str, Any]]] = []
+        codes_list: list[np.ndarray] = []
+        for k in range(self.num_groups):
+            code_k, cache_k = self.autoencoder.encode_with_cache(groups[k])
+            codes_list.append(code_k)
+            enc_caches.append(cache_k)
+        codes = np.stack(codes_list)
+
+        self.zero_grad()
+        total_loss = 0.0
+        # dL/dcode accumulators per group (codes feed K-1 Sub-Q passes).
+        dcodes = [np.zeros_like(codes[k]) for k in range(self.num_groups)]
+
+        for k in range(self.num_groups):
+            group_lo = k * self.group_size
+            mask = (actions >= group_lo) & (actions < group_lo + self.group_size)
+            sample_idx = np.flatnonzero(mask)
+            if sample_idx.size == 0:
+                continue
+            x_k = self._assemble(k, groups, codes, jobs, sample_idx)
+            q_k, caches = self.subq.forward(x_k)
+            local = actions[sample_idx] - group_lo
+            rows = np.arange(sample_idx.size)
+            err = q_k[rows, local] - targets[sample_idx]
+            if huber_delta is None:
+                total_loss += float(np.sum(err**2))
+                derr = 2.0 * err
+            else:
+                abs_err = np.abs(err)
+                quad = np.minimum(abs_err, huber_delta)
+                total_loss += float(
+                    np.sum(0.5 * quad**2 + huber_delta * (abs_err - quad))
+                )
+                derr = np.clip(err, -huber_delta, huber_delta)
+            dq = np.zeros_like(q_k)
+            dq[rows, local] = derr / n
+            dx = self.subq.backward(dq, caches)
+            # Split dx back into [raw g_k | other codes | job] and route the
+            # code gradients to their producing encoder passes.
+            offset = self.group_dim
+            for other in self._other_groups(k):
+                dcode = dx[:, offset : offset + self.code_dim]
+                dcodes[other][sample_idx] += dcode
+                offset += self.code_dim
+
+        for k in range(self.num_groups):
+            if np.any(dcodes[k]):
+                self.autoencoder.encoder_backward(dcodes[k], enc_caches[k])
+
+        if max_grad_norm is not None:
+            clip_grad_norm(self.parameters(), max_grad_norm)
+        optimizer.step()
+        return total_loss / n
+
+    def clone(self, rng: np.random.Generator | None = None) -> "HierarchicalQNetwork":
+        """Independent copy with identical weights (same encoder geometry)."""
+        twin = HierarchicalQNetwork(
+            self.encoder,
+            autoencoder_hidden=tuple(
+                layer.out_features for layer in self.autoencoder.encoder.layers
+            ),
+            subq_hidden=tuple(self.subq.layer_sizes[1:-1]),
+            rng=rng if rng is not None else np.random.default_rng(0),
+        )
+        twin.load_state_dict(self.state_dict())
+        return twin
+
+    def pretrain_autoencoder(
+        self,
+        states: np.ndarray,
+        epochs: int = 20,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        rng: np.random.Generator | None = None,
+    ) -> list[float]:
+        """Offline-phase reconstruction pre-training on group-state blocks.
+
+        Every group block of every state is a training sample (weight
+        sharing lets one autoencoder serve all groups).
+        """
+        groups, _ = self.encoder.split(np.atleast_2d(states))
+        samples = groups.reshape(-1, self.group_dim)
+        return self.autoencoder.fit(
+            samples, epochs=epochs, batch_size=batch_size, lr=lr, rng=rng
+        )

@@ -1,0 +1,54 @@
+"""Experiment harness: regenerates every table and figure of Sec. VII.
+
+* :mod:`repro.harness.runner` — named-system construction, the paper's
+  offline-then-online training protocol, and single-run execution.
+* :mod:`repro.harness.table1` — Table I (energy / accumulated latency /
+  average power at a fixed job count, M = 30 and 40).
+* :mod:`repro.harness.figures` — Figs. 8 and 9 (accumulated latency and
+  energy versus the number of jobs).
+* :mod:`repro.harness.tradeoff` — Fig. 10 (average latency vs. average
+  energy per job: hierarchical w-sweep against fixed-timeout baselines).
+* :mod:`repro.harness.claims` — the paper's headline percentage claims,
+  recomputed from our measurements.
+* :mod:`repro.harness.report` — plain-text table/CSV rendering.
+"""
+
+from repro.harness.claims import ClaimReport, evaluate_claims
+from repro.harness.figures import FigureSeries, run_figure8, run_figure9, render_series_csv
+from repro.harness.report import format_table
+from repro.harness.runner import (
+    RunResult,
+    clone_global_broker,
+    make_system,
+    needs_global_tier,
+    run_system,
+    standard_protocol,
+    SYSTEM_NAMES,
+    train_global_prototype,
+)
+from repro.harness.table1 import Table1Row, render_table1, run_table1
+from repro.harness.tradeoff import TradeoffPoint, render_tradeoff_csv, run_tradeoff
+
+__all__ = [
+    "ClaimReport",
+    "evaluate_claims",
+    "FigureSeries",
+    "run_figure8",
+    "run_figure9",
+    "render_series_csv",
+    "format_table",
+    "RunResult",
+    "clone_global_broker",
+    "make_system",
+    "needs_global_tier",
+    "run_system",
+    "standard_protocol",
+    "SYSTEM_NAMES",
+    "train_global_prototype",
+    "Table1Row",
+    "render_table1",
+    "run_table1",
+    "TradeoffPoint",
+    "render_tradeoff_csv",
+    "run_tradeoff",
+]

@@ -1,0 +1,87 @@
+"""Figs. 8 and 9: accumulated latency and energy versus number of jobs.
+
+Each figure has two panels — (a) accumulated job latency and (b) energy
+usage, both against the number of (completed) jobs — for three systems:
+the proposed hierarchical framework, DRL-based resource allocation only,
+and the round-robin baseline. Fig. 8 is M = 30; Fig. 9 is M = 40.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.report import format_csv
+from repro.harness.runner import RunResult, standard_protocol
+from repro.harness.table1 import TABLE1_SYSTEMS, default_config, make_traces
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """Both panels of one figure, keyed by system name."""
+
+    num_servers: int
+    latency: dict[str, tuple[tuple[int, float], ...]]  # (a): jobs -> acc latency s
+    energy: dict[str, tuple[tuple[int, float], ...]]  # (b): jobs -> energy kWh
+
+    def systems(self) -> list[str]:
+        return list(self.latency)
+
+
+def _run_figure(
+    num_servers: int,
+    n_jobs: int,
+    seed: int,
+    systems: tuple[str, ...],
+    record_every: int,
+    **make_kwargs,
+) -> FigureSeries:
+    config = default_config(num_servers, seed=seed)
+    eval_jobs, train_traces = make_traces(n_jobs, num_servers, seed)
+    results: dict[str, RunResult] = standard_protocol(
+        systems, eval_jobs, config, train_traces, record_every=record_every, **make_kwargs
+    )
+    return FigureSeries(
+        num_servers=num_servers,
+        latency={name: results[name].latency_series for name in systems},
+        energy={name: results[name].energy_series for name in systems},
+    )
+
+
+def run_figure8(
+    n_jobs: int = 5_000,
+    seed: int = 0,
+    systems: tuple[str, ...] = TABLE1_SYSTEMS,
+    record_every: int = 200,
+    **make_kwargs,
+) -> FigureSeries:
+    """Fig. 8: M = 30 latency/energy curves (paper: 95 000 jobs)."""
+    return _run_figure(30, n_jobs, seed, systems, record_every, **make_kwargs)
+
+
+def run_figure9(
+    n_jobs: int = 5_000,
+    seed: int = 0,
+    systems: tuple[str, ...] = TABLE1_SYSTEMS,
+    record_every: int = 200,
+    **make_kwargs,
+) -> FigureSeries:
+    """Fig. 9: M = 40 latency/energy curves (paper: 95 000 jobs)."""
+    return _run_figure(40, n_jobs, seed, systems, record_every, **make_kwargs)
+
+
+def render_series_csv(figure: FigureSeries, panel: str) -> str:
+    """CSV text of one panel (``"latency"`` or ``"energy"``).
+
+    Columns: n_jobs plus one column per system. Rows are aligned on each
+    system's own sample points; systems complete jobs at different times,
+    so each (system, n) pair appears as its own row.
+    """
+    if panel not in ("latency", "energy"):
+        raise ValueError(f"panel must be 'latency' or 'energy', got {panel!r}")
+    series = figure.latency if panel == "latency" else figure.energy
+    rows = []
+    for name, points in series.items():
+        for n, value in points:
+            rows.append([name, n, repr(float(value))])
+    unit = "acc_latency_s" if panel == "latency" else "energy_kwh"
+    return format_csv(["system", "n_jobs", unit], rows)

@@ -1,0 +1,37 @@
+"""Plain-text rendering helpers for harness outputs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table.
+
+    Numeric cells are right-aligned; everything is stringified with
+    ``str`` (pre-format floats upstream for custom precision).
+    """
+    table = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in table:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in table)
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as simple CSV text (no quoting; numeric payloads)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(str(cell) for cell in row))
+    return "\n".join(lines)

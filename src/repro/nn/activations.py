@@ -1,0 +1,137 @@
+"""Elementwise activation functions with analytic derivatives.
+
+The paper's Q-network uses Exponential Linear Units (ELUs); the LSTM uses
+sigmoid gates and tanh candidates. Each activation exposes
+
+* ``forward(z) -> y``
+* ``derivative(z, y) -> dy/dz`` (given both the pre-activation ``z`` and the
+  already-computed output ``y``, so implementations can use whichever is
+  cheaper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Activation:
+    """Base class for elementwise activations."""
+
+    name = "base"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def derivative(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class Identity(Activation):
+    """Linear activation: ``y = z``."""
+
+    name = "identity"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return z
+
+    def derivative(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return np.ones_like(z)
+
+
+class ReLU(Activation):
+    """Rectified linear unit: ``y = max(z, 0)``."""
+
+    name = "relu"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.maximum(z, 0.0)
+
+    def derivative(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return (z > 0.0).astype(np.float64)
+
+
+class ELU(Activation):
+    """Exponential linear unit, the activation the paper's Q-network uses.
+
+    ``y = z`` for ``z > 0`` and ``alpha * (exp(z) - 1)`` otherwise.
+    """
+
+    name = "elu"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = float(alpha)
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.where(z > 0.0, z, self.alpha * np.expm1(np.minimum(z, 0.0)))
+
+    def derivative(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # For z <= 0, dy/dz = alpha * exp(z) = y + alpha.
+        return np.where(z > 0.0, 1.0, y + self.alpha)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid, numerically stable for large |z|."""
+
+    name = "sigmoid"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        out = np.empty_like(z, dtype=np.float64)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    def derivative(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return y * (1.0 - y)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.tanh(z)
+
+    def derivative(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return 1.0 - y * y
+
+
+class Softplus(Activation):
+    """Softplus ``log(1 + exp(z))``; smooth positive output, used in tests."""
+
+    name = "softplus"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.logaddexp(0.0, z)
+
+    def derivative(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return Sigmoid().forward(z)
+
+
+_REGISTRY: dict[str, type[Activation]] = {
+    cls.name: cls for cls in (Identity, ReLU, ELU, Sigmoid, Tanh, Softplus)
+}
+_REGISTRY["linear"] = Identity
+
+
+def get_activation(name: str | Activation) -> Activation:
+    """Resolve an activation by name (or pass an instance through).
+
+    Raises
+    ------
+    KeyError
+        If the name is unknown.
+    """
+    if isinstance(name, Activation):
+        return name
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown activation {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]()

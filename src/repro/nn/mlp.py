@@ -1,0 +1,129 @@
+"""Multi-layer perceptron built from Dense layers.
+
+Used for the Sub-Q networks of the global tier (one hidden layer of 128
+ELUs plus a linear output, per the paper) and as a generic regressor in
+tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.nn.activations import Activation
+from repro.nn.layers import Dense, Module
+from repro.nn.losses import MSELoss
+from repro.nn.optim import Adam, clip_grad_norm
+
+
+class MLP(Module):
+    """Feed-forward network ``Dense -> ... -> Dense``.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Widths including input and output, e.g. ``[8, 128, 1]``.
+    hidden_activation:
+        Activation for all hidden layers (paper: ELU).
+    output_activation:
+        Activation for the final layer (paper: linear Q output).
+    rng:
+        Generator for weight initialization.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        hidden_activation: str | Activation = "elu",
+        output_activation: str | Activation = "identity",
+        rng: np.random.Generator | None = None,
+        name: str = "mlp",
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("layer_sizes needs at least input and output widths")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.layer_sizes = [int(s) for s in layer_sizes]
+        self.layers: list[Dense] = []
+        for i, (fan_in, fan_out) in enumerate(zip(self.layer_sizes, self.layer_sizes[1:])):
+            is_last = i == len(self.layer_sizes) - 2
+            act = output_activation if is_last else hidden_activation
+            self.layers.append(
+                Dense(fan_in, fan_out, activation=act, rng=rng, name=f"{name}.{i}")
+            )
+
+    @property
+    def in_features(self) -> int:
+        return self.layer_sizes[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.layer_sizes[-1]
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, list[dict[str, Any]]]:
+        """Run a batch through the network; returns ``(output, caches)``."""
+        caches: list[dict[str, Any]] = []
+        out = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for layer in self.layers:
+            out, cache = layer.forward(out)
+            caches.append(cache)
+        return out, caches
+
+    def backward(self, dy: np.ndarray, caches: list[dict[str, Any]]) -> np.ndarray:
+        """Backprop a batch; accumulates grads; returns ``dL/dx``."""
+        grad = np.atleast_2d(np.asarray(dy, dtype=np.float64))
+        for layer, cache in zip(reversed(self.layers), reversed(caches)):
+            grad = layer.backward(grad, cache)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference without keeping caches around for the caller."""
+        out, _ = self.forward(x)
+        return out
+
+    def share_with(self, other: "MLP") -> None:
+        """Share all layer parameters with ``other`` (weight sharing)."""
+        if self.layer_sizes != other.layer_sizes:
+            raise ValueError("cannot share weights between differently-shaped MLPs")
+        for mine, theirs in zip(self.layers, other.layers):
+            mine.share_with(theirs)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 100,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+        rng: np.random.Generator | None = None,
+        max_grad_norm: float | None = None,
+        loss: MSELoss | None = None,
+    ) -> list[float]:
+        """Convenience supervised training loop; returns per-epoch losses."""
+        if rng is None:
+            rng = np.random.default_rng(0)
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"x has {x.shape[0]} rows but y has {y.shape[0]}")
+        loss = loss or MSELoss()
+        optimizer = Adam(self.parameters(), lr=lr)
+        history: list[float] = []
+        n = x.shape[0]
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                pred, caches = self.forward(x[idx])
+                epoch_loss += loss.forward(pred, y[idx])
+                batches += 1
+                self.zero_grad()
+                self.backward(loss.backward(pred, y[idx]), caches)
+                if max_grad_norm is not None:
+                    clip_grad_norm(self.parameters(), max_grad_norm)
+                optimizer.step()
+            history.append(epoch_loss / max(batches, 1))
+        return history

@@ -1,0 +1,121 @@
+"""Gradient-descent optimizers and gradient clipping.
+
+The paper trains its networks with Adam (Kingma & Ba) and clips gradient
+norms to 10 in the global tier; both are implemented here. Optimizers
+operate on lists of :class:`~repro.nn.parameter.Parameter` — shared
+parameters appear once and therefore get exactly one update per step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Scale all gradients so that their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping global norm (useful for monitoring).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total_sq = sum(float(np.sum(p.grad**2)) for p in parameters)
+    total = float(np.sqrt(total_sq))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in parameters:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, parameters: list[Parameter]) -> None:
+        if not parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        # Deduplicate while preserving order; shared params update once.
+        seen: dict[int, Parameter] = {}
+        for p in parameters:
+            seen.setdefault(id(p), p)
+        self.parameters = list(seen.values())
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.value -= self.lr * v
+            else:
+                p.value -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam: adaptive moment estimation (Kingma & Ba, 2014).
+
+    The paper's stated optimizer for both the LSTM predictor and the
+    global-tier DNN training.
+    """
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,69 @@
+"""Trainable parameter container.
+
+A :class:`Parameter` pairs a value array with a gradient accumulator.
+Weight sharing in this library is expressed by letting several modules
+reference the *same* ``Parameter`` instance: every backward pass adds into
+``grad``, so shared parameters receive the sum of gradients from all of
+their use sites — the semantics the paper relies on for its shared
+autoencoders and Sub-Q networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient.
+
+    Parameters
+    ----------
+    value:
+        Initial value; copied into a float64 array.
+    name:
+        Optional human-readable name, used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64).copy()
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero in place."""
+        self.grad.fill(0.0)
+
+    def accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulated gradient.
+
+        Raises
+        ------
+        ValueError
+            If ``grad`` does not broadcast-match the parameter shape.
+        """
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.value.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name or '<unnamed>'} shape {self.value.shape}"
+            )
+        self.grad += grad
+
+    def copy(self) -> "Parameter":
+        """Return an independent deep copy (value and gradient)."""
+        out = Parameter(self.value, name=self.name)
+        out.grad = self.grad.copy()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"

@@ -1,0 +1,78 @@
+"""Exploration policies.
+
+Both tiers of the paper select actions ε-greedily: with probability ε a
+uniformly random action, otherwise the argmax of the current Q estimates.
+A decaying schedule anneals exploration as learning progresses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def epsilon_greedy_choice(
+    q_values: np.ndarray,
+    epsilon: float,
+    rng: np.random.Generator,
+) -> int:
+    """Pick an action index ε-greedily from a vector of Q estimates.
+
+    Ties at the maximum are broken uniformly at random so that identical
+    initial Q-values do not bias toward low indices.
+
+    Raises
+    ------
+    ValueError
+        If ``q_values`` is empty or ``epsilon`` outside [0, 1].
+    """
+    q_values = np.asarray(q_values, dtype=np.float64)
+    if q_values.ndim != 1 or q_values.size == 0:
+        raise ValueError(f"q_values must be a non-empty vector, got shape {q_values.shape}")
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+    if rng.uniform() < epsilon:
+        return int(rng.integers(q_values.size))
+    best = np.flatnonzero(q_values == q_values.max())
+    return int(rng.choice(best))
+
+
+class EpsilonGreedy:
+    """Constant-ε policy."""
+
+    def __init__(self, epsilon: float, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def select(self, q_values: np.ndarray) -> int:
+        return epsilon_greedy_choice(q_values, self.epsilon, self.rng)
+
+
+class DecayingEpsilonGreedy:
+    """ε-greedy with multiplicative decay toward a floor.
+
+    ``epsilon`` starts at ``start`` and is multiplied by ``decay`` after
+    every :meth:`select`, never dropping below ``floor``.
+    """
+
+    def __init__(
+        self,
+        start: float = 1.0,
+        floor: float = 0.05,
+        decay: float = 0.999,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= floor <= start <= 1.0:
+            raise ValueError(f"need 0 <= floor <= start <= 1, got {floor}, {start}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.epsilon = float(start)
+        self.floor = float(floor)
+        self.decay = float(decay)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def select(self, q_values: np.ndarray) -> int:
+        choice = epsilon_greedy_choice(q_values, self.epsilon, self.rng)
+        self.epsilon = max(self.floor, self.epsilon * self.decay)
+        return choice

@@ -1,0 +1,79 @@
+"""Experience replay memory.
+
+The paper stores state-transition profiles ``(s_k, a_k, r_k, s_{k+1})`` in
+an experience memory ``D`` with capacity ``N_D`` and samples minibatches
+from it to train the DNN, "to smooth out learning and avoid oscillations
+or divergence in the parameters". Transitions here additionally carry the
+sojourn time ``tau`` needed by the continuous-time (SMDP) target.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One SMDP transition.
+
+    ``reward`` is the *already sojourn-discounted* reward accumulated over
+    ``[t_k, t_{k+1})`` — i.e. the ``(1 - e^{-beta tau}) / beta * r`` term
+    of Eqn. (2) — and ``tau`` the sojourn time used to discount the
+    bootstrapped tail.
+    """
+
+    state: Any
+    action: int
+    reward: float
+    next_state: Any
+    tau: float
+
+    def __post_init__(self) -> None:
+        if self.tau < 0:
+            raise ValueError(f"tau must be non-negative, got {self.tau}")
+
+
+class ReplayMemory:
+    """Bounded FIFO transition store with uniform minibatch sampling."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._buffer: deque[Transition] = deque(maxlen=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def full(self) -> bool:
+        return len(self._buffer) == self.capacity
+
+    def push(self, transition: Transition) -> None:
+        """Append a transition, evicting the oldest when at capacity."""
+        self._buffer.append(transition)
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> list[Transition]:
+        """Uniform sample without replacement (with, if batch > size).
+
+        Raises
+        ------
+        ValueError
+            If the memory is empty.
+        """
+        if not self._buffer:
+            raise ValueError("cannot sample from an empty replay memory")
+        n = len(self._buffer)
+        replace = batch_size > n
+        idx = rng.choice(n, size=batch_size, replace=replace)
+        return [self._buffer[i] for i in idx]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __iter__(self):
+        return iter(self._buffer)

@@ -1,0 +1,39 @@
+"""Discrete-event simulator for a cluster of power-managed servers.
+
+This is the substrate the paper evaluates on: a continuous-time,
+event-driven simulation of ``M`` homogeneous servers, each offering ``D``
+resource types, serving VM (job) requests dispatched by a job broker.
+Servers queue assigned jobs FCFS with head-of-line blocking, can sleep to
+save power (zero consumption) at the cost of ``Ton``/``Toff`` transition
+delays, and consume ``P(x) = P(0) + (P(100) - P(0)) (2x - x^1.4)`` watts
+while active at CPU utilization ``x`` (Fan, Weber & Barroso).
+
+Energy is integrated exactly: power is piecewise per Eqn. (3) between
+utilization change points, and every change point is an event.
+"""
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import ClusterEngine, SimulationResult, build_simulation
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.interfaces import Broker, PowerPolicy
+from repro.sim.job import Job
+from repro.sim.metrics import MetricsCollector, SeriesPoint
+from repro.sim.power import PowerModel
+from repro.sim.server import PowerState, Server
+
+__all__ = [
+    "Cluster",
+    "ClusterEngine",
+    "SimulationResult",
+    "build_simulation",
+    "EventQueue",
+    "ScheduledEvent",
+    "Broker",
+    "PowerPolicy",
+    "Job",
+    "MetricsCollector",
+    "SeriesPoint",
+    "PowerModel",
+    "PowerState",
+    "Server",
+]

@@ -1,0 +1,142 @@
+"""Cluster: the set of M servers plus cluster-wide observables.
+
+The cluster aggregates the exact per-server time integrals (energy, jobs
+in system, overload) that the global tier's reward function (Eqn. 4)
+consumes, and exposes the raw utilization matrix that the DRL state
+encoder reads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.events import EventQueue
+from repro.sim.interfaces import PowerPolicy
+from repro.sim.power import PowerModel
+from repro.sim.server import PowerState, Server
+
+
+class Cluster:
+    """A homogeneous server cluster.
+
+    Parameters
+    ----------
+    num_servers:
+        M, the number of physical machines.
+    power_model:
+        Shared power characteristics (homogeneous cluster).
+    events:
+        The simulation event queue shared by all servers.
+    policies:
+        One DPM policy per server (distributed local tier). A single
+        policy instance may be passed to share it across servers
+        (appropriate for stateless baselines such as fixed timeouts).
+    num_resources:
+        Resource dimensions D.
+    overload_threshold:
+        Hot-spot threshold for the reliability objective.
+    initially_on:
+        Whether servers start IDLE instead of SLEEP.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        power_model: PowerModel,
+        events: EventQueue,
+        policies: Sequence[PowerPolicy] | PowerPolicy,
+        num_resources: int = 3,
+        overload_threshold: float = 0.9,
+        initially_on: bool = False,
+    ) -> None:
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be positive, got {num_servers}")
+        if isinstance(policies, PowerPolicy):
+            policies = [policies] * num_servers
+        if len(policies) != num_servers:
+            raise ValueError(
+                f"got {len(policies)} policies for {num_servers} servers"
+            )
+        self.events = events
+        self.power_model = power_model
+        self.num_resources = int(num_resources)
+        self.servers = [
+            Server(
+                server_id=i,
+                power_model=power_model,
+                events=events,
+                policy=policies[i],
+                num_resources=num_resources,
+                overload_threshold=overload_threshold,
+                initially_on=initially_on,
+            )
+            for i in range(num_servers)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __getitem__(self, index: int) -> Server:
+        return self.servers[index]
+
+    def sync(self, now: float) -> None:
+        """Bring every server's time integrals up to ``now``."""
+        for server in self.servers:
+            server.account(now)
+
+    # ------------------------------------------------------------------
+    # Aggregates (callers should sync() first for exact mid-run values)
+    # ------------------------------------------------------------------
+
+    def total_energy(self) -> float:
+        """Total cluster energy in joules."""
+        return sum(s.energy_joules for s in self.servers)
+
+    def total_power(self) -> float:
+        """Instantaneous cluster power draw in watts."""
+        return sum(s.current_power() for s in self.servers)
+
+    def jobs_in_system(self) -> int:
+        """Jobs currently waiting or running anywhere in the cluster."""
+        return sum(s.jobs_in_system for s in self.servers)
+
+    def system_integral(self) -> float:
+        """Time integral of the number of jobs in the system (VM-seconds)."""
+        return sum(s.system_integral for s in self.servers)
+
+    def overload_integral(self) -> float:
+        """Time integral of the cluster hot-spot measure."""
+        return sum(s.overload_integral for s in self.servers)
+
+    def num_active_servers(self) -> int:
+        """Servers currently on (active or idle)."""
+        return sum(1 for s in self.servers if s.state.is_on)
+
+    def num_sleeping_servers(self) -> int:
+        return sum(1 for s in self.servers if s.state is PowerState.SLEEP)
+
+    # ------------------------------------------------------------------
+    # State observation for the global tier
+    # ------------------------------------------------------------------
+
+    def utilization_matrix(self) -> np.ndarray:
+        """Raw state: an ``(M, D)`` matrix of per-server resource usage.
+
+        This is the ``u_mp`` block of the paper's global state vector.
+        """
+        return np.array([s.used.copy() for s in self.servers])
+
+    def power_state_vector(self) -> np.ndarray:
+        """Per-server on/off indicator (1 = can execute immediately)."""
+        return np.array([1.0 if s.state.is_on else 0.0 for s in self.servers])
+
+    def queue_vector(self) -> np.ndarray:
+        """Per-server number of waiting jobs."""
+        return np.array([float(s.queue_length) for s in self.servers])
+
+    def finalize(self, now: float) -> None:
+        """Finalize all servers at the end of a run."""
+        for server in self.servers:
+            server.finalize(now)

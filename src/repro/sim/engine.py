@@ -1,0 +1,179 @@
+"""Simulation engine: feeds jobs to the broker and drains the event queue.
+
+The engine realizes the paper's continuous-time, event-driven decision
+framework: every job arrival is a global-tier decision epoch (the broker
+picks a server), and every server-side idle entry / wake-up is a
+local-tier decision epoch (handled inside :class:`~repro.sim.server.Server`
+via its policy). Between epochs, the simulated world evolves purely
+through scheduled events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sim.cluster import Cluster
+from repro.sim.events import EventQueue
+from repro.sim.interfaces import Broker, PowerPolicy
+from repro.sim.job import Job
+from repro.sim.metrics import MetricsCollector
+from repro.sim.power import PowerModel
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a run: metrics plus the final cluster for inspection."""
+
+    metrics: MetricsCollector
+    cluster: Cluster
+    final_time: float
+
+    @property
+    def total_energy_kwh(self) -> float:
+        return self.metrics.total_energy_kwh()
+
+    @property
+    def accumulated_latency(self) -> float:
+        return self.metrics.acc_latency
+
+    @property
+    def mean_latency(self) -> float:
+        return self.metrics.mean_latency
+
+    @property
+    def average_power_watts(self) -> float:
+        return self.metrics.average_power_watts()
+
+
+class ClusterEngine:
+    """Wires a broker, a cluster, and a job stream together.
+
+    Parameters
+    ----------
+    cluster:
+        The server cluster (with DPM policies already attached).
+    broker:
+        The global-tier job dispatcher.
+    metrics:
+        Optional pre-configured collector.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        broker: Broker,
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.broker = broker
+        self.events = cluster.events
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        for server in cluster.servers:
+            server.on_finish = self._handle_finish
+
+    def _handle_finish(self, job: Job, now: float) -> None:
+        self.cluster.sync(now)
+        self.metrics.on_completion(job, now, self.cluster.total_energy())
+        self.broker.on_job_finish(job, self.cluster, now)
+
+    def _handle_arrival(self, job: Job, now: float) -> None:
+        self.metrics.on_arrival(job, now)
+        self.cluster.sync(now)
+        index = self.broker.select_server(job, self.cluster, now)
+        if not 0 <= index < len(self.cluster):
+            raise ValueError(
+                f"broker chose server {index} outside [0, {len(self.cluster)})"
+            )
+        self.cluster[index].assign(job, now)
+
+    def run(
+        self,
+        jobs: Iterable[Job] | Sequence[Job],
+        max_jobs: int | None = None,
+        max_events: int | None = None,
+    ) -> SimulationResult:
+        """Simulate the job stream to completion.
+
+        Jobs must be ordered by non-decreasing arrival time (the paper's
+        traces are). Arrivals are scheduled lazily one at a time, so the
+        stream may be a generator of arbitrary length.
+
+        Parameters
+        ----------
+        jobs:
+            The trace to replay.
+        max_jobs:
+            Stop feeding arrivals after this many jobs (the simulation
+            still drains in-flight work).
+        max_events:
+            Safety valve on total processed events.
+
+        Raises
+        ------
+        ValueError
+            If arrival times decrease along the stream.
+        """
+        iterator = iter(jobs)
+        fed = 0
+        last_arrival = -1.0
+
+        def feed_next() -> None:
+            nonlocal fed, last_arrival
+            if max_jobs is not None and fed >= max_jobs:
+                return
+            job = next(iterator, None)
+            if job is None:
+                return
+            if job.arrival_time < last_arrival:
+                raise ValueError(
+                    f"job {job.job_id} arrives at {job.arrival_time}, before "
+                    f"the previous arrival at {last_arrival}; traces must be "
+                    "sorted by arrival time"
+                )
+            last_arrival = job.arrival_time
+            fed += 1
+            self.events.schedule(
+                job.arrival_time,
+                lambda t, job=job: on_arrival_event(job, t),
+                kind=f"arrival:{job.job_id}",
+            )
+
+        def on_arrival_event(job: Job, now: float) -> None:
+            self._handle_arrival(job, now)
+            feed_next()
+
+        feed_next()
+        self.events.run_until_empty(max_events=max_events)
+        final_time = max(self.events.now, self.metrics.final_time)
+        self.cluster.finalize(final_time)
+        self.broker.on_run_end(self.cluster, final_time)
+        self.cluster.sync(final_time)
+        self.metrics.close(final_time, self.cluster.total_energy())
+        return SimulationResult(self.metrics, self.cluster, final_time)
+
+
+def build_simulation(
+    num_servers: int,
+    broker: Broker,
+    policies: Sequence[PowerPolicy] | PowerPolicy,
+    power_model: PowerModel | None = None,
+    num_resources: int = 3,
+    overload_threshold: float = 0.9,
+    initially_on: bool = False,
+    record_every: int = 100,
+    keep_jobs: bool = False,
+) -> ClusterEngine:
+    """Convenience constructor for the common engine wiring."""
+    events = EventQueue()
+    cluster = Cluster(
+        num_servers=num_servers,
+        power_model=power_model if power_model is not None else PowerModel(),
+        events=events,
+        policies=policies,
+        num_resources=num_resources,
+        overload_threshold=overload_threshold,
+        initially_on=initially_on,
+    )
+    metrics = MetricsCollector(record_every=record_every, keep_jobs=keep_jobs)
+    return ClusterEngine(cluster, broker, metrics)

@@ -1,0 +1,124 @@
+"""Continuous-time event queue.
+
+A simple binary-heap priority queue of ``(time, sequence, event)`` where
+the sequence number breaks ties deterministically in insertion order.
+Events carry a callback; cancellation is lazy (a cancelled event is popped
+and skipped), which keeps DPM timeout handling O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "kind")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[float], None],
+        kind: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.kind = kind
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"ScheduledEvent(t={self.time:.3f}, kind={self.kind!r}{state})"
+
+
+class EventQueue:
+    """Time-ordered queue of :class:`ScheduledEvent`."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[float], None],
+        kind: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback(time)`` at absolute simulated ``time``.
+
+        Raises
+        ------
+        ValueError
+            If ``time`` is in the simulated past.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} before now ({self.now})")
+        event = ScheduledEvent(time, self._seq, callback, kind)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[float], None],
+        kind: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.now + delay, callback, kind)
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> ScheduledEvent | None:
+        """Pop and return the next live event, advancing ``now``.
+
+        Returns None when no live events remain.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise RuntimeError(
+                    f"event {event!r} is in the past (now={self.now})"
+                )
+            self.now = event.time
+            return event
+        return None
+
+    def run_until_empty(self, max_events: int | None = None) -> int:
+        """Drain the queue, invoking callbacks in time order.
+
+        Returns the number of events executed. ``max_events`` is a safety
+        valve against runaway schedules.
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                return executed
+            event = self.pop()
+            if event is None:
+                return executed
+            event.callback(event.time)
+            executed += 1

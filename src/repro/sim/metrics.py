@@ -1,0 +1,137 @@
+"""Metrics collection for simulation runs.
+
+Collects exactly what the paper's evaluation reports:
+
+* per-job latency (Fig. 3 definition: completion minus arrival),
+* accumulated job latency versus the number of jobs (Figs. 8a / 9a),
+* accumulated energy versus the number of jobs (Figs. 8b / 9b),
+* totals at a given job count — energy (kWh), latency (1e6 s), and
+  average power (W) — for Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.job import Job
+
+JOULES_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One sample of the accumulated-metric curves.
+
+    ``n_completed`` jobs have finished by simulated time ``time``;
+    ``acc_latency`` is the sum of their latencies (seconds) and
+    ``energy_joules`` the cluster energy consumed so far.
+    """
+
+    n_completed: int
+    time: float
+    acc_latency: float
+    energy_joules: float
+
+    @property
+    def energy_kwh(self) -> float:
+        return self.energy_joules / JOULES_PER_KWH
+
+    @property
+    def average_power_watts(self) -> float:
+        """Mean cluster power from t=0 to this point."""
+        if self.time <= 0.0:
+            return 0.0
+        return self.energy_joules / self.time
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates job latencies and energy/latency series during a run.
+
+    Parameters
+    ----------
+    record_every:
+        Sample the series every this many job completions (1 records every
+        completion; larger values bound memory on 100k-job runs).
+    keep_jobs:
+        Retain references to completed jobs (for per-job analysis).
+    """
+
+    record_every: int = 100
+    keep_jobs: bool = False
+
+    n_arrived: int = 0
+    n_completed: int = 0
+    acc_latency: float = 0.0
+    acc_wait: float = 0.0
+    max_latency: float = 0.0
+    series: list[SeriesPoint] = field(default_factory=list)
+    completed_jobs: list[Job] = field(default_factory=list)
+    final_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.record_every < 1:
+            raise ValueError(f"record_every must be >= 1, got {self.record_every}")
+
+    def on_arrival(self, job: Job, now: float) -> None:
+        self.n_arrived += 1
+
+    def on_completion(self, job: Job, now: float, cluster_energy: float) -> None:
+        """Record a completed job; ``cluster_energy`` is synced total joules."""
+        self.n_completed += 1
+        latency = job.latency
+        self.acc_latency += latency
+        self.acc_wait += job.wait_time
+        self.max_latency = max(self.max_latency, latency)
+        self.final_time = now
+        if self.keep_jobs:
+            self.completed_jobs.append(job)
+        if self.n_completed % self.record_every == 0 or self.n_completed == 1:
+            self.series.append(
+                SeriesPoint(self.n_completed, now, self.acc_latency, cluster_energy)
+            )
+
+    def close(self, now: float, cluster_energy: float) -> None:
+        """Append a final series point if the last completion wasn't sampled."""
+        if not self.series or self.series[-1].n_completed != self.n_completed:
+            self.series.append(
+                SeriesPoint(self.n_completed, self.final_time, self.acc_latency, cluster_energy)
+            )
+
+    # ------------------------------------------------------------------
+    # Summary statistics (Table I quantities)
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_latency(self) -> float:
+        """Average per-job latency in seconds."""
+        if self.n_completed == 0:
+            return 0.0
+        return self.acc_latency / self.n_completed
+
+    @property
+    def mean_wait(self) -> float:
+        """Average per-job queueing (pre-start) delay in seconds."""
+        if self.n_completed == 0:
+            return 0.0
+        return self.acc_wait / self.n_completed
+
+    def total_energy_kwh(self) -> float:
+        """Cluster energy at the last recorded point, in kWh."""
+        if not self.series:
+            return 0.0
+        return self.series[-1].energy_kwh
+
+    def average_power_watts(self) -> float:
+        """Run-average cluster power at the last recorded point."""
+        if not self.series:
+            return 0.0
+        return self.series[-1].average_power_watts
+
+    def latency_series(self) -> list[tuple[int, float]]:
+        """(n_completed, accumulated latency seconds) pairs — Fig. 8a/9a."""
+        return [(p.n_completed, p.acc_latency) for p in self.series]
+
+    def energy_series(self) -> list[tuple[int, float]]:
+        """(n_completed, energy kWh) pairs — Fig. 8b/9b."""
+        return [(p.n_completed, p.energy_kwh) for p in self.series]

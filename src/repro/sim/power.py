@@ -1,0 +1,80 @@
+"""Server power model (Eqn. 3, after Fan, Weber & Barroso).
+
+Active power at CPU utilization ``x`` is
+
+    P(x) = P(0%) + (P(100%) - P(0%)) * (2x - x^1.4)
+
+with the paper's defaults P(0%) = 87 W (idle) and P(100%) = 145 W (peak).
+Sleep power is zero; power during sleep<->active transitions exceeds
+P(0%) and defaults to P(100%) here (the paper only bounds it below).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Power characteristics of one server.
+
+    Parameters
+    ----------
+    idle_power:
+        P(0%), watts consumed while active with zero utilization.
+    peak_power:
+        P(100%), watts at full CPU load.
+    exponent:
+        The sub-linear exponent of the utilization curve (paper: 1.4).
+    t_on, t_off:
+        Sleep-to-active and active-to-sleep transition times, seconds
+        (paper: 30 s each).
+    transition_power:
+        Watts during a power-mode transition; defaults to ``peak_power``.
+    sleep_power:
+        Watts while asleep (paper: 0).
+    """
+
+    idle_power: float = 87.0
+    peak_power: float = 145.0
+    exponent: float = 1.4
+    t_on: float = 30.0
+    t_off: float = 30.0
+    transition_power: float | None = None
+    sleep_power: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.idle_power < 0 or self.peak_power < self.idle_power:
+            raise ValueError(
+                f"need 0 <= idle_power <= peak_power, got "
+                f"{self.idle_power}, {self.peak_power}"
+            )
+        if self.exponent <= 1.0:
+            raise ValueError(f"exponent must exceed 1, got {self.exponent}")
+        if self.t_on < 0 or self.t_off < 0:
+            raise ValueError("transition times must be non-negative")
+        if self.sleep_power < 0:
+            raise ValueError("sleep_power must be non-negative")
+        if self.transition_power is None:
+            object.__setattr__(self, "transition_power", self.peak_power)
+        elif self.transition_power < self.idle_power:
+            raise ValueError(
+                "transition_power must be at least idle_power "
+                f"({self.transition_power} < {self.idle_power})"
+            )
+
+    def active_power(self, utilization: float) -> float:
+        """P(x) for CPU utilization ``x`` in [0, 1] (Eqn. 3).
+
+        Utilization is clamped into [0, 1]; callers may momentarily
+        over-subscribe by floating-point epsilon.
+        """
+        x = min(max(utilization, 0.0), 1.0)
+        dynamic = 2.0 * x - x**self.exponent
+        return self.idle_power + (self.peak_power - self.idle_power) * dynamic
+
+    def energy(self, utilization: float, dt: float) -> float:
+        """Joules consumed over ``dt`` seconds at constant utilization."""
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        return self.active_power(utilization) * dt

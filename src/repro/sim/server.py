@@ -1,0 +1,322 @@
+"""Power-managed server with an FCFS job queue.
+
+State machine (Sec. III of the paper):
+
+    SLEEP --arrival--> BOOTING --Ton--> ACTIVE
+    ACTIVE --queue drained--> IDLE          (DPM decision epoch, case 1)
+    IDLE --arrival--> ACTIVE                (decision epoch, case 2)
+    IDLE --timeout--> SHUTTING_DOWN --Toff--> SLEEP
+    SLEEP --arrival--> BOOTING              (decision epoch, case 3)
+    SHUTTING_DOWN --arrival--> (queued; reboot right after sleep is reached)
+
+Jobs are granted resources strictly first-come-first-serve with
+head-of-line blocking: if the queue head does not fit in the remaining
+capacity it waits, and everything behind it waits too.
+
+Energy, queue-length, utilization and overload *time integrals* are
+maintained exactly by accounting for the elapsed interval at every state
+or utilization change point.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.job import CPU, Job
+from repro.sim.power import PowerModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.interfaces import PowerPolicy
+
+_EPS = 1e-9
+
+
+class PowerState(enum.Enum):
+    """Power mode of a server."""
+
+    SLEEP = "sleep"
+    BOOTING = "booting"
+    ACTIVE = "active"
+    IDLE = "idle"
+    SHUTTING_DOWN = "shutting_down"
+
+    @property
+    def is_on(self) -> bool:
+        """True when the server can execute jobs (active or idle)."""
+        return self in (PowerState.ACTIVE, PowerState.IDLE)
+
+
+class Server:
+    """One physical machine in the cluster.
+
+    Parameters
+    ----------
+    server_id:
+        Index within the cluster.
+    power_model:
+        Power/transition characteristics.
+    events:
+        The shared simulation event queue.
+    policy:
+        The local-tier DPM policy controlling this server.
+    num_resources:
+        Number of resource dimensions D (default 3: CPU, mem, disk).
+    overload_threshold:
+        CPU utilization above which the server counts as a hot spot for
+        the reliability term of the global reward.
+    initially_on:
+        Start in IDLE (True) or SLEEP (False, the default — the paper's
+        Fig. 4 example starts asleep).
+    """
+
+    def __init__(
+        self,
+        server_id: int,
+        power_model: PowerModel,
+        events: EventQueue,
+        policy: "PowerPolicy",
+        num_resources: int = 3,
+        overload_threshold: float = 0.9,
+        initially_on: bool = False,
+    ) -> None:
+        if num_resources < 1:
+            raise ValueError("need at least one resource dimension")
+        if not 0.0 < overload_threshold <= 1.0:
+            raise ValueError(f"overload_threshold must be in (0, 1], got {overload_threshold}")
+        self.server_id = int(server_id)
+        self.power_model = power_model
+        self.events = events
+        self.policy = policy
+        self.num_resources = int(num_resources)
+        self.overload_threshold = float(overload_threshold)
+
+        self.state = PowerState.IDLE if initially_on else PowerState.SLEEP
+        self.capacity = np.ones(self.num_resources)
+        self.used = np.zeros(self.num_resources)
+        self.pending: deque[Job] = deque()
+        self.running: dict[int, Job] = {}
+
+        # Exact time integrals, updated at every change point.
+        self.energy_joules = 0.0
+        self.queue_integral = 0.0  # waiting jobs x seconds
+        self.system_integral = 0.0  # (waiting + running) jobs x seconds
+        self.util_integral = 0.0  # CPU-utilization x seconds
+        self.overload_integral = 0.0  # max(0, cpu - threshold) x seconds
+        self._last_account = 0.0
+
+        # Bookkeeping.
+        self.jobs_assigned = 0
+        self.jobs_completed = 0
+        self.last_arrival_time: float | None = None
+        self.wakeups = 0  # sleep->boot transitions
+        self.idle_entries = 0  # DPM case-1 decision epochs
+
+        self._timeout_event: ScheduledEvent | None = None
+        self._transition_event: ScheduledEvent | None = None
+        #: Set by the engine: called as ``on_finish(job, now)`` at completion.
+        self.on_finish: Callable[[Job, float], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Current CPU utilization in [0, 1]."""
+        return float(min(self.used[CPU], 1.0))
+
+    @property
+    def queue_length(self) -> int:
+        """Number of assigned-but-not-started jobs."""
+        return len(self.pending)
+
+    @property
+    def jobs_in_system(self) -> int:
+        """Waiting plus running jobs."""
+        return len(self.pending) + len(self.running)
+
+    def current_power(self) -> float:
+        """Instantaneous power draw in watts, by state and utilization."""
+        if self.state is PowerState.SLEEP:
+            return self.power_model.sleep_power
+        if self.state in (PowerState.BOOTING, PowerState.SHUTTING_DOWN):
+            return float(self.power_model.transition_power)
+        if self.state is PowerState.IDLE:
+            return self.power_model.active_power(0.0)
+        return self.power_model.active_power(self.cpu_utilization)
+
+    def remaining(self) -> np.ndarray:
+        """Free capacity per resource dimension."""
+        return self.capacity - self.used
+
+    def fits(self, job: Job) -> bool:
+        """Whether ``job`` fits in the current free capacity."""
+        demand = np.asarray(job.resources[: self.num_resources])
+        return bool(np.all(self.used + demand <= self.capacity + _EPS))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def account(self, now: float) -> None:
+        """Integrate all per-time metrics up to ``now``.
+
+        Idempotent at a fixed ``now``; must be called before any state or
+        utilization change.
+        """
+        dt = now - self._last_account
+        if dt < -_EPS:
+            raise RuntimeError(
+                f"server {self.server_id}: accounting time went backwards "
+                f"({now} < {self._last_account})"
+            )
+        if dt <= 0.0:
+            self._last_account = now
+            return
+        self.energy_joules += self.current_power() * dt
+        self.queue_integral += len(self.pending) * dt
+        self.system_integral += self.jobs_in_system * dt
+        cpu = self.cpu_utilization if self.state is PowerState.ACTIVE else 0.0
+        self.util_integral += cpu * dt
+        self.overload_integral += max(0.0, cpu - self.overload_threshold) * dt
+        self._last_account = now
+
+    # ------------------------------------------------------------------
+    # Job flow
+    # ------------------------------------------------------------------
+
+    def assign(self, job: Job, now: float) -> None:
+        """Accept a job dispatched by the broker at time ``now``."""
+        self.account(now)
+        job.server_id = self.server_id
+        self.pending.append(job)
+        self.jobs_assigned += 1
+        self.last_arrival_time = now
+        self.policy.on_job_assigned(self, job, now)
+
+        if self.state is PowerState.ACTIVE:
+            self._try_start_jobs(now)
+        elif self.state is PowerState.IDLE:
+            self._cancel_timeout()
+            self.state = PowerState.ACTIVE
+            self.policy.on_active(self, now, from_sleep=False)
+            self._try_start_jobs(now)
+        elif self.state is PowerState.SLEEP:
+            self._begin_boot(now)
+            self.policy.on_active(self, now, from_sleep=True)
+        # BOOTING / SHUTTING_DOWN: the job waits in the queue; the pending
+        # transition completes first (Fig. 4a semantics).
+
+    def _try_start_jobs(self, now: float) -> None:
+        """Start queued jobs FCFS while the head fits (head-of-line blocking)."""
+        while self.pending and self.fits(self.pending[0]):
+            job = self.pending.popleft()
+            demand = np.asarray(job.resources[: self.num_resources])
+            self.used += demand
+            job.start_time = now
+            self.running[job.job_id] = job
+            finish_time = now + job.duration
+            self.events.schedule(
+                finish_time,
+                lambda t, job=job: self._on_job_finish(job, t),
+                kind=f"finish:{job.job_id}",
+            )
+
+    def _on_job_finish(self, job: Job, now: float) -> None:
+        self.account(now)
+        del self.running[job.job_id]
+        demand = np.asarray(job.resources[: self.num_resources])
+        self.used = np.maximum(self.used - demand, 0.0)
+        job.finish_time = now
+        self.jobs_completed += 1
+        self._try_start_jobs(now)
+        if self.on_finish is not None:
+            self.on_finish(job, now)
+        if not self.running and not self.pending and self.state is PowerState.ACTIVE:
+            self._enter_idle(now)
+
+    # ------------------------------------------------------------------
+    # Power management
+    # ------------------------------------------------------------------
+
+    def _enter_idle(self, now: float) -> None:
+        """Decision epoch case 1: queue drained, ask the policy for a timeout."""
+        self.state = PowerState.IDLE
+        self.idle_entries += 1
+        timeout = float(self.policy.on_idle(self, now))
+        if math.isnan(timeout) or timeout < 0.0:
+            raise ValueError(
+                f"policy returned invalid timeout {timeout} for server {self.server_id}"
+            )
+        if timeout == 0.0:
+            self._begin_shutdown(now)
+        elif not math.isinf(timeout):
+            self._timeout_event = self.events.schedule_in(
+                timeout,
+                self._on_timeout,
+                kind=f"timeout:{self.server_id}",
+            )
+        # timeout == inf: stay idle until the next arrival (always-on).
+
+    def _on_timeout(self, now: float) -> None:
+        self._timeout_event = None
+        if self.state is not PowerState.IDLE:
+            return  # stale: a job arrived at the same instant
+        self.account(now)
+        self._begin_shutdown(now)
+
+    def _begin_shutdown(self, now: float) -> None:
+        self.state = PowerState.SHUTTING_DOWN
+        self._transition_event = self.events.schedule_in(
+            self.power_model.t_off,
+            self._on_shutdown_complete,
+            kind=f"sleep:{self.server_id}",
+        )
+
+    def _on_shutdown_complete(self, now: float) -> None:
+        self.account(now)
+        self._transition_event = None
+        self.state = PowerState.SLEEP
+        if self.pending:
+            # Jobs arrived while shutting down: reboot immediately.
+            self._begin_boot(now)
+
+    def _begin_boot(self, now: float) -> None:
+        self.state = PowerState.BOOTING
+        self.wakeups += 1
+        self._transition_event = self.events.schedule_in(
+            self.power_model.t_on,
+            self._on_boot_complete,
+            kind=f"boot:{self.server_id}",
+        )
+
+    def _on_boot_complete(self, now: float) -> None:
+        self.account(now)
+        self._transition_event = None
+        self.state = PowerState.ACTIVE
+        self._try_start_jobs(now)
+        if not self.running and not self.pending:
+            self._enter_idle(now)
+
+    def _cancel_timeout(self) -> None:
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+
+    def finalize(self, now: float) -> None:
+        """Account trailing time and notify the policy that the run ended."""
+        self.account(now)
+        self.policy.on_run_end(self, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Server(id={self.server_id}, state={self.state.value}, "
+            f"running={len(self.running)}, pending={len(self.pending)}, "
+            f"cpu={self.cpu_utilization:.2f})"
+        )

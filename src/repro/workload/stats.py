@@ -1,0 +1,96 @@
+"""Workload characterization.
+
+Summary statistics of a job trace: arrival rate, inter-arrival moments,
+duration distribution, per-resource demand, and the offered load in
+server-equivalents — the quantity that determines how many machines a
+scheduler actually needs, and therefore how much power a good consolidator
+can save relative to round-robin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.job import RESOURCE_NAMES, Job
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Summary of a job trace."""
+
+    n_jobs: int
+    span: float
+    arrival_rate: float
+    interarrival_mean: float
+    interarrival_std: float
+    interarrival_cv: float
+    duration_mean: float
+    duration_p50: float
+    duration_p95: float
+    duration_min: float
+    duration_max: float
+    mean_demand: tuple[float, ...]
+    offered_load: float
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        demand = ", ".join(
+            f"{name}={value:.3f}"
+            for name, value in zip(RESOURCE_NAMES, self.mean_demand)
+        )
+        return (
+            f"jobs:            {self.n_jobs}\n"
+            f"span:            {self.span / 86400:.2f} days\n"
+            f"arrival rate:    {self.arrival_rate:.4f} jobs/s\n"
+            f"inter-arrival:   mean={self.interarrival_mean:.2f}s "
+            f"std={self.interarrival_std:.2f}s cv={self.interarrival_cv:.2f}\n"
+            f"duration:        mean={self.duration_mean:.1f}s "
+            f"p50={self.duration_p50:.1f}s p95={self.duration_p95:.1f}s "
+            f"range=[{self.duration_min:.0f}, {self.duration_max:.0f}]s\n"
+            f"mean demand:     {demand}\n"
+            f"offered load:    {self.offered_load:.2f} server-equivalents (CPU)"
+        )
+
+
+def characterize(jobs: list[Job]) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for a trace.
+
+    Raises
+    ------
+    ValueError
+        On an empty trace.
+    """
+    if not jobs:
+        raise ValueError("cannot characterize an empty trace")
+    arrivals = np.array(sorted(job.arrival_time for job in jobs))
+    durations = np.array([job.duration for job in jobs])
+    n_res = max(len(job.resources) for job in jobs)
+    demand = np.zeros((len(jobs), n_res))
+    for i, job in enumerate(jobs):
+        demand[i, : len(job.resources)] = job.resources
+
+    span = float(arrivals[-1] - arrivals[0]) if len(jobs) > 1 else float(durations[0])
+    span = max(span, 1e-9)
+    inter = np.diff(arrivals) if len(jobs) > 1 else np.array([0.0])
+    inter_mean = float(inter.mean())
+    inter_std = float(inter.std())
+    rate = len(jobs) / span
+    # Offered CPU load: concurrent CPU demand in units of whole servers.
+    offered = rate * float(durations.mean()) * float(demand[:, 0].mean())
+    return WorkloadStats(
+        n_jobs=len(jobs),
+        span=span,
+        arrival_rate=rate,
+        interarrival_mean=inter_mean,
+        interarrival_std=inter_std,
+        interarrival_cv=inter_std / inter_mean if inter_mean > 0 else 0.0,
+        duration_mean=float(durations.mean()),
+        duration_p50=float(np.percentile(durations, 50)),
+        duration_p95=float(np.percentile(durations, 95)),
+        duration_min=float(durations.min()),
+        duration_max=float(durations.max()),
+        mean_demand=tuple(float(demand[:, d].mean()) for d in range(n_res)),
+        offered_load=offered,
+    )

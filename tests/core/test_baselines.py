@@ -1,0 +1,114 @@
+"""Tests for repro.core.baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    AlwaysOnPolicy,
+    FixedTimeoutPolicy,
+    ImmediateSleepPolicy,
+    LeastLoadedBroker,
+    PackingBroker,
+    RandomBroker,
+    RoundRobinBroker,
+)
+from repro.sim.cluster import Cluster
+from repro.sim.events import EventQueue
+from repro.sim.job import Job
+from repro.sim.power import PowerModel
+
+
+def make_cluster(n=3, initially_on=True, policy=None):
+    return Cluster(
+        n, PowerModel(), EventQueue(), policy or AlwaysOnPolicy(),
+        initially_on=initially_on,
+    )
+
+
+def job(jid, cpu=0.3, duration=100.0):
+    return Job(jid, 0.0, duration, (cpu, 0.1, 0.1))
+
+
+class TestRoundRobin:
+    def test_cycles_through_servers(self):
+        broker = RoundRobinBroker()
+        cluster = make_cluster(3)
+        picks = [broker.select_server(job(i), cluster, 0.0) for i in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+
+class TestRandom:
+    def test_in_range_and_covers(self):
+        broker = RandomBroker(np.random.default_rng(0))
+        cluster = make_cluster(4)
+        picks = {broker.select_server(job(i), cluster, 0.0) for i in range(100)}
+        assert picks == {0, 1, 2, 3}
+
+
+class TestLeastLoaded:
+    def test_picks_lowest_cpu_commitment(self):
+        broker = LeastLoadedBroker()
+        cluster = make_cluster(3)
+        cluster[0].assign(job(1, cpu=0.5), 0.0)
+        cluster[2].assign(job(2, cpu=0.2), 0.0)
+        assert broker.select_server(job(3), cluster, 0.0) == 1
+
+    def test_counts_queued_work(self):
+        broker = LeastLoadedBroker()
+        cluster = make_cluster(2)
+        # Server 0: one running 0.3. Server 1: running 0.2 + queued 0.9.
+        cluster[0].assign(job(1, cpu=0.3), 0.0)
+        cluster[1].assign(job(2, cpu=0.2), 0.0)
+        cluster[1].assign(job(3, cpu=0.9), 0.0)
+        assert broker.select_server(job(4), cluster, 0.0) == 0
+
+
+class TestPacking:
+    def test_prefers_first_fit_awake(self):
+        broker = PackingBroker()
+        cluster = make_cluster(3)
+        cluster[0].assign(job(1, cpu=0.9), 0.0)  # full-ish
+        assert broker.select_server(job(2, cpu=0.3), cluster, 0.0) == 1
+
+    def test_avoids_waking_when_awake_has_room(self):
+        broker = PackingBroker()
+        cluster = make_cluster(3, initially_on=False)
+        cluster[0].assign(job(1, cpu=0.2), 0.0)  # server 0 boots
+        cluster[0]._on_boot_complete(30.0)
+        pick = broker.select_server(job(2, cpu=0.2), cluster, 30.0)
+        assert pick == 0
+
+    def test_wakes_a_server_when_all_awake_busy(self):
+        broker = PackingBroker()
+        cluster = make_cluster(2, initially_on=False)
+        cluster[0].assign(job(1, cpu=0.9), 0.0)
+        cluster[0]._on_boot_complete(30.0)
+        cluster[0].assign(job(2, cpu=0.9), 30.0)  # queues: server 0 saturated
+        pick = broker.select_server(job(3, cpu=0.5), cluster, 30.0)
+        assert pick == 1  # sleeping server gets woken
+
+    def test_all_asleep_picks_zero(self):
+        broker = PackingBroker()
+        cluster = make_cluster(2, initially_on=False)
+        assert broker.select_server(job(1), cluster, 0.0) == 0
+
+
+class TestPowerPolicies:
+    def test_always_on_returns_infinity(self):
+        cluster = make_cluster(1)
+        assert AlwaysOnPolicy().on_idle(cluster[0], 0.0) == float("inf")
+
+    def test_immediate_sleep_returns_zero(self):
+        cluster = make_cluster(1)
+        assert ImmediateSleepPolicy().on_idle(cluster[0], 0.0) == 0.0
+
+    @pytest.mark.parametrize("timeout", [0.0, 30.0, 90.0])
+    def test_fixed_timeout_constant(self, timeout):
+        cluster = make_cluster(1)
+        policy = FixedTimeoutPolicy(timeout)
+        assert policy.on_idle(cluster[0], 0.0) == timeout
+        assert policy.on_idle(cluster[0], 100.0) == timeout
+
+    def test_fixed_negative_raises(self):
+        with pytest.raises(ValueError):
+            FixedTimeoutPolicy(-1.0)

@@ -1,0 +1,181 @@
+"""Tests for repro.core.predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PredictorConfig
+from repro.core.predictor import InterArrivalTracker, WorkloadPredictor
+
+
+class TestTracker:
+    def test_first_arrival_yields_none(self):
+        tracker = InterArrivalTracker(3)
+        assert tracker.observe(10.0) is None
+
+    def test_deltas_recorded(self):
+        tracker = InterArrivalTracker(3)
+        tracker.observe(0.0)
+        assert tracker.observe(5.0) == 5.0
+        assert tracker.observe(12.0) == 7.0
+        assert list(tracker.window()) == [5.0, 7.0]
+
+    def test_window_bounded_by_lookback(self):
+        tracker = InterArrivalTracker(2)
+        for t in (0.0, 1.0, 3.0, 6.0):
+            tracker.observe(t)
+        assert list(tracker.window()) == [2.0, 3.0]
+        assert tracker.ready
+
+    def test_not_ready_until_full(self):
+        tracker = InterArrivalTracker(3)
+        tracker.observe(0.0)
+        tracker.observe(1.0)
+        assert not tracker.ready
+
+    def test_backwards_time_raises(self):
+        tracker = InterArrivalTracker(3)
+        tracker.observe(10.0)
+        with pytest.raises(ValueError):
+            tracker.observe(5.0)
+
+    def test_new_run_resets_anchor_keeps_window(self):
+        tracker = InterArrivalTracker(3)
+        tracker.observe(0.0)
+        tracker.observe(5.0)
+        tracker.new_run()
+        assert tracker.observe(1.0) is None  # fresh anchor
+        assert list(tracker.window()) == [5.0]
+
+    def test_last(self):
+        tracker = InterArrivalTracker(3)
+        assert tracker.last() is None
+        tracker.observe(0.0)
+        tracker.observe(4.0)
+        assert tracker.last() == 4.0
+
+    def test_invalid_lookback(self):
+        with pytest.raises(ValueError):
+            InterArrivalTracker(0)
+
+
+class TestTransforms:
+    @pytest.fixture
+    def predictor(self, rng):
+        return WorkloadPredictor(
+            PredictorConfig(lookback=5, min_interarrival=1.0, max_interarrival=1000.0),
+            rng=rng,
+        )
+
+    def test_log_transform_unit_interval(self, predictor):
+        x = predictor.transform(np.array([1.0, 1000.0, np.sqrt(1000.0)]))
+        assert x[0] == pytest.approx(0.0)
+        assert x[1] == pytest.approx(1.0)
+        assert x[2] == pytest.approx(0.5)
+
+    def test_inverse_roundtrip(self, predictor):
+        seconds = np.array([2.0, 50.0, 700.0])
+        back = predictor.inverse_transform(predictor.transform(seconds))
+        assert np.allclose(back, seconds, rtol=1e-9)
+
+    def test_clipping_outside_bounds(self, predictor):
+        x = predictor.transform(np.array([0.001, 1e9]))
+        assert x[0] == 0.0 and x[1] == 1.0
+
+    def test_linear_mode(self, rng):
+        p = WorkloadPredictor(
+            PredictorConfig(lookback=5, min_interarrival=0.0001 + 1, max_interarrival=11.0,
+                            log_scale=False),
+            rng=rng,
+        )
+        mid = p.transform(np.array([(1.0001 + 11.0) / 2]))
+        assert mid[0] == pytest.approx(0.5, abs=0.01)
+
+
+class TestCategorize:
+    def test_category_count_and_monotonic(self, rng):
+        p = WorkloadPredictor(
+            PredictorConfig(n_categories=4, min_interarrival=1.0,
+                            max_interarrival=10000.0),
+            rng=rng,
+        )
+        cats = [p.categorize(v) for v in (0.5, 5.0, 80.0, 900.0, 50000.0)]
+        assert cats == sorted(cats)
+        assert min(cats) == 0 and max(cats) == 3
+
+    def test_single_category(self, rng):
+        p = WorkloadPredictor(PredictorConfig(n_categories=1), rng=rng)
+        assert p.categorize(1.0) == 0
+        assert p.categorize(1e6) == 0
+
+
+class TestPredict:
+    def test_fallback_before_fit_uses_last_value(self, rng):
+        p = WorkloadPredictor(PredictorConfig(lookback=3), rng=rng)
+        tracker = InterArrivalTracker(3)
+        tracker.observe(0.0)
+        tracker.observe(42.0)
+        assert p.predict(tracker) == pytest.approx(42.0)
+
+    def test_fallback_empty_tracker_geometric_middle(self, rng):
+        cfg = PredictorConfig(lookback=3, min_interarrival=1.0, max_interarrival=100.0)
+        p = WorkloadPredictor(cfg, rng=rng)
+        assert p.predict(InterArrivalTracker(3)) == pytest.approx(10.0)
+
+    def test_predict_seconds_requires_full_window(self, rng):
+        p = WorkloadPredictor(PredictorConfig(lookback=5), rng=rng)
+        with pytest.raises(ValueError):
+            p.predict_seconds(np.ones(3))
+
+    def test_make_windows_shape(self, rng):
+        p = WorkloadPredictor(PredictorConfig(lookback=4), rng=rng)
+        x, y = p.make_windows(np.arange(1, 21, dtype=float))
+        assert x.shape == (16, 4, 1)
+        assert y.shape == (16, 1)
+
+    def test_make_windows_too_short_raises(self, rng):
+        p = WorkloadPredictor(PredictorConfig(lookback=10), rng=rng)
+        with pytest.raises(ValueError, match="too short"):
+            p.make_windows(np.ones(5))
+
+    def test_fit_then_predict_in_bounds(self, rng):
+        cfg = PredictorConfig(lookback=6, epochs=3, min_interarrival=1.0,
+                              max_interarrival=100.0)
+        p = WorkloadPredictor(cfg, rng=rng)
+        series = rng.uniform(2.0, 50.0, size=100)
+        p.fit(series)
+        assert p.fitted
+        pred = p.predict_seconds(series[:6])
+        assert 1.0 <= pred <= 100.0
+
+    def test_fit_learns_periodic_series(self, rng):
+        # Alternating 5 s / 50 s inter-arrivals: the LSTM should track the
+        # alternation far better than last-value fallback.
+        cfg = PredictorConfig(lookback=6, epochs=25, min_interarrival=1.0,
+                              max_interarrival=100.0)
+        p = WorkloadPredictor(cfg, rng=rng)
+        series = np.tile([5.0, 50.0], 150).astype(float)
+        p.fit(series)
+        window_ending_5 = np.array([50.0, 5.0, 50.0, 5.0, 50.0, 5.0])
+        pred_next = p.predict_seconds(window_ending_5)  # true next: 50
+        assert pred_next > 20.0
+
+    def test_predict_category_pipeline(self, rng):
+        cfg = PredictorConfig(lookback=3, n_categories=3)
+        p = WorkloadPredictor(cfg, rng=rng)
+        tracker = InterArrivalTracker(3)
+        for t in (0.0, 10.0, 20.0, 30.0):
+            tracker.observe(t)
+        cat = p.predict_category(tracker)
+        assert 0 <= cat < 3
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"lookback": 0},
+        {"n_categories": 0},
+        {"min_interarrival": 10.0, "max_interarrival": 5.0},
+        {"min_interarrival": 0.0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            PredictorConfig(**kwargs)

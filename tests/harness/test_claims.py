@@ -1,0 +1,55 @@
+"""Tests for repro.harness.claims."""
+
+import pytest
+
+from repro.harness.claims import ClaimReport, evaluate_claims
+from repro.harness.table1 import Table1Row
+
+
+@pytest.fixture
+def paper_rows():
+    """The paper's actual Table I numbers."""
+    return [
+        Table1Row("round-robin", 30, 441.47, 85.20, 2627.79),
+        Table1Row("drl-only", 30, 242.25, 109.73, 1441.96),
+        Table1Row("hierarchical", 30, 203.21, 92.53, 1209.58),
+        Table1Row("round-robin", 40, 561.13, 85.20, 3340.06),
+        Table1Row("drl-only", 40, 273.41, 108.76, 1627.44),
+        Table1Row("hierarchical", 40, 224.51, 94.26, 1336.37),
+    ]
+
+
+class TestEvaluateClaims:
+    def test_reproduces_headline_percentages_m30(self, paper_rows):
+        report = evaluate_claims(paper_rows, num_servers=30)
+        # The paper claims 53.97% power/energy saving vs round-robin.
+        assert report.energy_saving_vs_round_robin == pytest.approx(0.5397, abs=0.001)
+        assert report.power_saving_vs_round_robin == pytest.approx(0.5397, abs=0.001)
+        # 16.12% energy saving vs DRL-only.
+        assert report.energy_saving_vs_drl == pytest.approx(0.1612, abs=0.002)
+        # ~15.7% latency saving vs DRL-only (paper rounds to 16.67%).
+        assert report.latency_saving_vs_drl == pytest.approx(0.157, abs=0.01)
+
+    def test_reproduces_headline_percentages_m40(self, paper_rows):
+        report = evaluate_claims(paper_rows, num_servers=40)
+        assert report.energy_saving_vs_round_robin == pytest.approx(0.5999, abs=0.001)
+        assert report.energy_saving_vs_drl == pytest.approx(0.1789, abs=0.002)
+        assert report.latency_saving_vs_drl == pytest.approx(0.1332, abs=0.005)
+
+    def test_missing_system_raises(self, paper_rows):
+        with pytest.raises(ValueError, match="no Table-I row"):
+            evaluate_claims(paper_rows[:2], num_servers=30)
+
+    def test_summary_text(self, paper_rows):
+        text = evaluate_claims(paper_rows, num_servers=30).summary()
+        assert "M=30" in text
+        assert "%" in text
+
+    def test_zero_baseline_guard(self):
+        rows = [
+            Table1Row("round-robin", 4, 0.0, 0.0, 0.0),
+            Table1Row("drl-only", 4, 0.0, 0.0, 0.0),
+            Table1Row("hierarchical", 4, 1.0, 1.0, 1.0),
+        ]
+        report = evaluate_claims(rows, num_servers=4)
+        assert report.energy_saving_vs_round_robin == 0.0

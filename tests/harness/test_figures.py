@@ -1,0 +1,39 @@
+"""Tests for repro.harness.figures."""
+
+import pytest
+
+from repro.harness.figures import FigureSeries, render_series_csv
+
+
+@pytest.fixture
+def figure():
+    return FigureSeries(
+        num_servers=30,
+        latency={
+            "round-robin": ((100, 50_000.0), (200, 100_000.0)),
+            "hierarchical": ((100, 60_000.0), (200, 130_000.0)),
+        },
+        energy={
+            "round-robin": ((100, 5.0), (200, 10.0)),
+            "hierarchical": ((100, 3.0), (200, 6.0)),
+        },
+    )
+
+
+class TestRenderCsv:
+    def test_latency_panel(self, figure):
+        text = render_series_csv(figure, "latency")
+        assert text.splitlines()[0] == "system,n_jobs,acc_latency_s"
+        assert "round-robin,100,50000.0" in text
+
+    def test_energy_panel(self, figure):
+        text = render_series_csv(figure, "energy")
+        assert "energy_kwh" in text
+        assert "hierarchical,200,6.0" in text
+
+    def test_invalid_panel_raises(self, figure):
+        with pytest.raises(ValueError):
+            render_series_csv(figure, "power")
+
+    def test_systems_listed(self, figure):
+        assert set(figure.systems()) == {"round-robin", "hierarchical"}

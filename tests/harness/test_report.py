@@ -1,0 +1,32 @@
+"""Tests for repro.harness.report."""
+
+import pytest
+
+from repro.harness.report import format_csv, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].strip().startswith("-")
+        # All rows same rendered width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_cell_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_headers_only(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestFormatCsv:
+    def test_rows(self):
+        text = format_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert text == "a,b\n1,2\n3,4"
+
+    def test_empty_rows(self):
+        assert format_csv(["a"], []) == "a"

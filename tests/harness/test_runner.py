@@ -1,0 +1,132 @@
+"""Tests for repro.harness.runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import FixedTimeoutPolicy, ImmediateSleepPolicy
+from repro.core.global_tier import DRLGlobalBroker
+from repro.harness.runner import (
+    SYSTEM_NAMES,
+    clone_global_broker,
+    make_system,
+    needs_global_tier,
+    run_system,
+    standard_protocol,
+    train_global_prototype,
+)
+from repro.sim.job import Job
+
+
+def jobs_burst(n, spacing=30.0):
+    return [Job(i, i * spacing, 40.0, (0.3, 0.1, 0.1)) for i in range(n)]
+
+
+@pytest.fixture
+def train_traces():
+    return [jobs_burst(15), jobs_burst(15)]
+
+
+class TestNeedsGlobalTier:
+    @pytest.mark.parametrize("name,expected", [
+        ("round-robin", False),
+        ("random", False),
+        ("least-loaded", False),
+        ("packing", False),
+        ("drl-only", True),
+        ("drl+fixed-60", True),
+        ("hierarchical", True),
+    ])
+    def test_classification(self, name, expected):
+        assert needs_global_tier(name) is expected
+
+
+class TestMakeSystem:
+    @pytest.mark.parametrize("name", ["round-robin", "random", "least-loaded", "packing"])
+    def test_static_baselines_build(self, small_config, name):
+        system = make_system(name, small_config)
+        assert system.name == name
+
+    def test_unknown_name_raises(self, small_config):
+        with pytest.raises(ValueError, match="unknown system"):
+            make_system("mystery", small_config)
+
+    def test_fixed_timeout_parse(self, small_config, train_traces):
+        system = make_system(
+            "drl+fixed-45", small_config, train_traces, pretrain=False, online_epochs=0
+        )
+        assert isinstance(system.policies, FixedTimeoutPolicy)
+        assert system.policies.timeout == 45.0
+
+    def test_drl_only_without_prototype_trains_fresh(self, small_config, train_traces):
+        system = make_system(
+            "drl-only", small_config, train_traces, pretrain=False, online_epochs=1
+        )
+        broker = system.broker
+        assert isinstance(broker, DRLGlobalBroker)
+        assert broker.decision_epochs > 0  # saw the training traces
+
+    def test_local_w_override(self, small_config, train_traces):
+        system = make_system(
+            "hierarchical", small_config, train_traces,
+            pretrain=False, online_epochs=0, local_epochs=0, local_w=0.77,
+        )
+        assert system.config.local_tier.w == 0.77
+
+    def test_prototype_cloned_not_shared(self, small_config, train_traces):
+        proto = train_global_prototype(
+            small_config, train_traces, pretrain=False, online_epochs=1
+        )
+        a = make_system("drl-only", small_config, global_prototype=proto)
+        b = make_system("drl-only", small_config, global_prototype=proto)
+        assert a.broker is not proto
+        assert a.broker is not b.broker
+        assert a.broker.qnet is not b.broker.qnet
+
+
+class TestCloneGlobalBroker:
+    def test_same_predictions_independent_training(self, small_config, train_traces, rng):
+        proto = train_global_prototype(
+            small_config, train_traces, pretrain=False, online_epochs=1
+        )
+        clone = clone_global_broker(proto, small_config)
+        state = rng.uniform(size=proto.encoder.state_dim)
+        assert np.allclose(proto.qnet.q_values(state), clone.qnet.q_values(state))
+        assert clone.epsilon == proto.epsilon
+        assert len(clone.replay) == 0
+
+
+class TestRunAndProtocol:
+    def test_run_system_preserves_input_jobs(self, small_config):
+        system = make_system("round-robin", small_config)
+        jobs = jobs_burst(10)
+        result = run_system(system, jobs)
+        assert result.n_jobs == 10
+        assert all(j.server_id is None for j in jobs)  # copies were run
+
+    def test_run_result_units(self, small_config):
+        system = make_system("round-robin", small_config)
+        result = run_system(system, jobs_burst(10))
+        assert result.acc_latency_1e6 == pytest.approx(result.acc_latency / 1e6)
+        assert result.energy_per_job_wh == pytest.approx(
+            result.energy_kwh * 1000 / result.n_jobs
+        )
+
+    def test_standard_protocol_shares_prototype(self, small_config, train_traces):
+        results = standard_protocol(
+            ("round-robin", "drl-only", "hierarchical"),
+            jobs_burst(20),
+            small_config,
+            train_traces,
+            pretrain=False,
+            online_epochs=1,
+            local_epochs=1,
+        )
+        assert set(results) == {"round-robin", "drl-only", "hierarchical"}
+        for result in results.values():
+            assert result.n_jobs == 20
+
+    def test_series_attached(self, small_config):
+        system = make_system("round-robin", small_config)
+        result = run_system(system, jobs_burst(10), record_every=5)
+        assert result.latency_series[-1][0] == 10
+        assert result.energy_series[-1][0] == 10

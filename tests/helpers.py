@@ -1,0 +1,25 @@
+"""Non-fixture test utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of the scalar function ``f()`` w.r.t. ``x``.
+
+    ``f`` must read the *current contents* of ``x`` (which is perturbed in
+    place and restored).
+    """
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f()
+        flat[i] = orig - eps
+        lo = f()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2.0 * eps)
+    return grad

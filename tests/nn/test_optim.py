@@ -1,0 +1,130 @@
+"""Tests for repro.nn.optim: SGD, Adam, gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.parameter import Parameter
+
+
+def quadratic_step(params, optimizer, steps=200):
+    """Minimize sum of squares; returns final values."""
+    for _ in range(steps):
+        optimizer.zero_grad()
+        for p in params:
+            p.accumulate(2.0 * p.value)
+        optimizer.step()
+    return [p.value for p in params]
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.accumulate(np.array([1.0, 0.0, 0.0]))
+        norm = clip_grad_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(1.0)
+        assert np.allclose(p.grad, [1.0, 0.0, 0.0])
+
+    def test_clips_to_max_norm(self):
+        p = Parameter(np.zeros(2))
+        p.accumulate(np.array([3.0, 4.0]))  # norm 5
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_parameters(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.accumulate(np.array([3.0]))
+        b.accumulate(np.array([4.0]))
+        clip_grad_norm([a, b], max_norm=1.0)
+        total = float(np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2))
+        assert total == pytest.approx(1.0)
+
+    def test_direction_preserved(self):
+        p = Parameter(np.zeros(2))
+        p.accumulate(np.array([30.0, 40.0]))
+        clip_grad_norm([p], max_norm=5.0)
+        assert np.allclose(p.grad / np.linalg.norm(p.grad), [0.6, 0.8])
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([Parameter(np.zeros(1))], max_norm=0.0)
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        p.accumulate(np.array([2.0]))
+        opt.step()
+        assert p.value[0] == pytest.approx(0.8)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = SGD([p], lr=0.1)
+        (final,) = quadratic_step([p], opt)
+        assert np.allclose(final, 0.0, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        slow = Parameter(np.array([10.0]))
+        fast = Parameter(np.array([10.0]))
+        opt_slow = SGD([slow], lr=0.01)
+        opt_fast = SGD([fast], lr=0.01, momentum=0.9)
+        quadratic_step([slow], opt_slow, steps=50)
+        quadratic_step([fast], opt_fast, steps=50)
+        assert abs(fast.value[0]) < abs(slow.value[0])
+
+    @pytest.mark.parametrize("bad_lr", [0.0, -1.0])
+    def test_invalid_lr(self, bad_lr):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=bad_lr)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], momentum=1.0)
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0, 0.5]))
+        opt = Adam([p], lr=0.1)
+        quadratic_step([p], opt, steps=500)
+        assert np.allclose(p.value, 0.0, atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, |step 1| == lr regardless of gradient scale.
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01)
+        p.accumulate(np.array([1234.0]))
+        opt.step()
+        assert p.value[0] == pytest.approx(1.0 - 0.01, rel=1e-6)
+
+    def test_shared_parameter_updated_once(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p, p], lr=0.5)  # duplicate reference
+        assert len(opt.parameters) == 1
+        p.accumulate(np.array([1.0]))
+        opt.step()
+        assert p.value[0] == pytest.approx(0.5)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], beta2=-0.1)
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], eps=0.0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p])
+        p.accumulate(np.ones(2))
+        opt.zero_grad()
+        assert np.all(p.grad == 0.0)

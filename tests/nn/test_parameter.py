@@ -1,0 +1,60 @@
+"""Tests for repro.nn.parameter."""
+
+import numpy as np
+import pytest
+
+from repro.nn.parameter import Parameter
+
+
+class TestParameter:
+    def test_value_copied_and_float64(self):
+        raw = np.array([1, 2, 3], dtype=np.int32)
+        p = Parameter(raw)
+        assert p.value.dtype == np.float64
+        raw[0] = 99
+        assert p.value[0] == 1.0
+
+    def test_grad_starts_zero_with_matching_shape(self):
+        p = Parameter(np.ones((2, 3)))
+        assert p.grad.shape == (2, 3)
+        assert np.all(p.grad == 0.0)
+
+    def test_shape_and_size(self):
+        p = Parameter(np.ones((4, 5)))
+        assert p.shape == (4, 5)
+        assert p.size == 20
+
+    def test_accumulate_adds(self):
+        p = Parameter(np.zeros(3))
+        p.accumulate(np.array([1.0, 2.0, 3.0]))
+        p.accumulate(np.array([1.0, 1.0, 1.0]))
+        assert np.allclose(p.grad, [2.0, 3.0, 4.0])
+
+    def test_accumulate_shape_mismatch_raises(self):
+        p = Parameter(np.zeros(3), name="w")
+        with pytest.raises(ValueError, match="w"):
+            p.accumulate(np.zeros(4))
+
+    def test_zero_grad_resets_in_place(self):
+        p = Parameter(np.zeros(2))
+        grad_ref = p.grad
+        p.accumulate(np.ones(2))
+        p.zero_grad()
+        assert np.all(p.grad == 0.0)
+        assert p.grad is grad_ref
+
+    def test_copy_is_independent(self):
+        p = Parameter(np.ones(2), name="orig")
+        p.accumulate(np.ones(2))
+        q = p.copy()
+        q.value[0] = 7.0
+        q.grad[0] = 7.0
+        assert p.value[0] == 1.0
+        assert p.grad[0] == 1.0
+        assert q.name == "orig"
+
+    def test_scalar_like_values(self):
+        p = Parameter(np.array(2.5))
+        assert p.size == 1
+        p.accumulate(np.array(1.5))
+        assert float(p.grad) == 1.5

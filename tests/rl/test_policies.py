@@ -1,0 +1,77 @@
+"""Tests for repro.rl.policies."""
+
+import numpy as np
+import pytest
+
+from repro.rl.policies import DecayingEpsilonGreedy, EpsilonGreedy, epsilon_greedy_choice
+
+
+class TestEpsilonGreedyChoice:
+    def test_greedy_picks_argmax(self, rng):
+        q = np.array([0.1, 0.9, 0.3])
+        assert epsilon_greedy_choice(q, 0.0, rng) == 1
+
+    def test_fully_random_covers_all_actions(self, rng):
+        q = np.array([10.0, 0.0, 0.0])
+        picks = {epsilon_greedy_choice(q, 1.0, rng) for _ in range(200)}
+        assert picks == {0, 1, 2}
+
+    def test_ties_broken_randomly(self, rng):
+        q = np.zeros(4)
+        picks = {epsilon_greedy_choice(q, 0.0, rng) for _ in range(200)}
+        assert len(picks) == 4
+
+    def test_exploration_rate_approximate(self):
+        rng = np.random.default_rng(0)
+        q = np.array([1.0, 0.0])
+        n = 4000
+        non_greedy = sum(
+            epsilon_greedy_choice(q, 0.5, rng) == 1 for _ in range(n)
+        )
+        # epsilon=0.5 with 2 actions -> P(non-greedy) = 0.25.
+        assert 0.2 < non_greedy / n < 0.3
+
+    def test_empty_q_raises(self, rng):
+        with pytest.raises(ValueError):
+            epsilon_greedy_choice(np.array([]), 0.1, rng)
+
+    def test_bad_epsilon_raises(self, rng):
+        with pytest.raises(ValueError):
+            epsilon_greedy_choice(np.zeros(2), 1.5, rng)
+
+    def test_matrix_q_raises(self, rng):
+        with pytest.raises(ValueError):
+            epsilon_greedy_choice(np.zeros((2, 2)), 0.1, rng)
+
+
+class TestEpsilonGreedy:
+    def test_select(self, rng):
+        policy = EpsilonGreedy(0.0, rng)
+        assert policy.select(np.array([0.0, 5.0])) == 1
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedy(-0.1)
+
+
+class TestDecayingEpsilonGreedy:
+    def test_decays_per_selection(self, rng):
+        policy = DecayingEpsilonGreedy(start=1.0, floor=0.1, decay=0.5, rng=rng)
+        policy.select(np.zeros(3))
+        assert policy.epsilon == 0.5
+        policy.select(np.zeros(3))
+        assert policy.epsilon == 0.25
+
+    def test_floor_respected(self, rng):
+        policy = DecayingEpsilonGreedy(start=1.0, floor=0.2, decay=0.1, rng=rng)
+        for _ in range(10):
+            policy.select(np.zeros(2))
+        assert policy.epsilon == 0.2
+
+    def test_invalid_ordering(self):
+        with pytest.raises(ValueError):
+            DecayingEpsilonGreedy(start=0.1, floor=0.5)
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            DecayingEpsilonGreedy(decay=0.0)

@@ -1,0 +1,89 @@
+"""Tests for repro.rl.replay."""
+
+import numpy as np
+import pytest
+
+from repro.rl.replay import ReplayMemory, Transition
+
+
+def tr(i):
+    return Transition(state=i, action=0, reward=float(i), next_state=i + 1, tau=1.0)
+
+
+class TestTransition:
+    def test_fields(self):
+        t = Transition("s", 2, -1.5, "s2", 3.0)
+        assert t.action == 2 and t.tau == 3.0
+
+    def test_negative_tau_raises(self):
+        with pytest.raises(ValueError):
+            Transition("s", 0, 0.0, "s2", -1.0)
+
+    def test_frozen(self):
+        t = tr(0)
+        with pytest.raises(AttributeError):
+            t.reward = 5.0
+
+
+class TestReplayMemory:
+    def test_push_and_len(self):
+        mem = ReplayMemory(10)
+        for i in range(5):
+            mem.push(tr(i))
+        assert len(mem) == 5
+        assert not mem.full
+
+    def test_capacity_evicts_oldest(self):
+        mem = ReplayMemory(3)
+        for i in range(5):
+            mem.push(tr(i))
+        assert len(mem) == 3
+        states = [t.state for t in mem]
+        assert states == [2, 3, 4]
+        assert mem.full
+
+    def test_sample_size(self, rng):
+        mem = ReplayMemory(10)
+        for i in range(10):
+            mem.push(tr(i))
+        batch = mem.sample(4, rng)
+        assert len(batch) == 4
+        assert all(isinstance(t, Transition) for t in batch)
+
+    def test_sample_without_replacement_when_possible(self, rng):
+        mem = ReplayMemory(10)
+        for i in range(10):
+            mem.push(tr(i))
+        batch = mem.sample(10, rng)
+        assert len({t.state for t in batch}) == 10
+
+    def test_oversample_with_replacement(self, rng):
+        mem = ReplayMemory(10)
+        mem.push(tr(0))
+        batch = mem.sample(5, rng)
+        assert len(batch) == 5
+
+    def test_sample_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            ReplayMemory(5).sample(1, rng)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayMemory(0)
+
+    def test_clear(self, rng):
+        mem = ReplayMemory(5)
+        mem.push(tr(0))
+        mem.clear()
+        assert len(mem) == 0
+
+    def test_sampling_is_uniform_ish(self):
+        rng = np.random.default_rng(0)
+        mem = ReplayMemory(4)
+        for i in range(4):
+            mem.push(tr(i))
+        counts = np.zeros(4)
+        for _ in range(500):
+            for t in mem.sample(2, rng):
+                counts[t.state] += 1
+        assert counts.min() > 0.6 * counts.max()

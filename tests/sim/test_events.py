@@ -1,0 +1,109 @@
+"""Tests for repro.sim.events."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+class TestScheduling:
+    def test_executes_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(5.0, lambda t: log.append(("b", t)))
+        q.schedule(1.0, lambda t: log.append(("a", t)))
+        q.schedule(9.0, lambda t: log.append(("c", t)))
+        q.run_until_empty()
+        assert log == [("a", 1.0), ("b", 5.0), ("c", 9.0)]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        log = []
+        for name in "xyz":
+            q.schedule(3.0, lambda t, name=name: log.append(name))
+        q.run_until_empty()
+        assert log == ["x", "y", "z"]
+
+    def test_now_advances(self):
+        q = EventQueue()
+        q.schedule(4.0, lambda t: None)
+        q.run_until_empty()
+        assert q.now == 4.0
+
+    def test_schedule_in_past_raises(self):
+        q = EventQueue()
+        q.schedule(10.0, lambda t: None)
+        q.run_until_empty()
+        with pytest.raises(ValueError, match="before now"):
+            q.schedule(5.0, lambda t: None)
+
+    def test_schedule_in_relative(self):
+        q = EventQueue()
+        times = []
+        q.schedule(2.0, lambda t: q.schedule_in(3.0, lambda t2: times.append(t2)))
+        q.run_until_empty()
+        assert times == [5.0]
+
+    def test_schedule_in_negative_delay_raises(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule_in(-1.0, lambda t: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        q = EventQueue()
+        log = []
+
+        def chain(t):
+            log.append(t)
+            if t < 3.0:
+                q.schedule(t + 1.0, chain)
+
+        q.schedule(1.0, chain)
+        q.run_until_empty()
+        assert log == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        log = []
+        handle = q.schedule(1.0, lambda t: log.append("cancelled"))
+        q.schedule(2.0, lambda t: log.append("kept"))
+        handle.cancel()
+        q.run_until_empty()
+        assert log == ["kept"]
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        h1 = q.schedule(1.0, lambda t: None)
+        q.schedule(2.0, lambda t: None)
+        assert len(q) == 2
+        h1.cancel()
+        assert len(q) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        h = q.schedule(1.0, lambda t: None)
+        q.schedule(2.0, lambda t: None)
+        h.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestRun:
+    def test_run_returns_event_count(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(float(i), lambda t: None)
+        assert q.run_until_empty() == 5
+
+    def test_max_events_stops_early(self):
+        q = EventQueue()
+        for i in range(10):
+            q.schedule(float(i), lambda t: None)
+        assert q.run_until_empty(max_events=4) == 4
+        assert len(q) == 6
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None

@@ -1,0 +1,88 @@
+"""Tests for repro.sim.metrics."""
+
+import pytest
+
+from repro.sim.job import Job
+from repro.sim.metrics import JOULES_PER_KWH, MetricsCollector, SeriesPoint
+
+
+def done_job(jid, arrival, start, finish):
+    job = Job(jid, arrival, max(finish - start, 1e-9), (0.5, 0.1, 0.1))
+    job.start_time = start
+    job.finish_time = finish
+    return job
+
+
+class TestSeriesPoint:
+    def test_energy_kwh(self):
+        p = SeriesPoint(1, 3600.0, 0.0, JOULES_PER_KWH)
+        assert p.energy_kwh == pytest.approx(1.0)
+
+    def test_average_power(self):
+        p = SeriesPoint(1, 100.0, 0.0, 8700.0)
+        assert p.average_power_watts == pytest.approx(87.0)
+
+    def test_average_power_at_time_zero(self):
+        assert SeriesPoint(0, 0.0, 0.0, 0.0).average_power_watts == 0.0
+
+
+class TestCollector:
+    def test_latency_accumulation(self):
+        m = MetricsCollector(record_every=1)
+        m.on_completion(done_job(1, 0.0, 0.0, 10.0), 10.0, 100.0)
+        m.on_completion(done_job(2, 5.0, 10.0, 30.0), 30.0, 200.0)
+        assert m.n_completed == 2
+        assert m.acc_latency == pytest.approx(10.0 + 25.0)
+        assert m.mean_latency == pytest.approx(17.5)
+        assert m.acc_wait == pytest.approx(0.0 + 5.0)
+        assert m.mean_wait == pytest.approx(2.5)
+        assert m.max_latency == pytest.approx(25.0)
+
+    def test_series_sampling_interval(self):
+        m = MetricsCollector(record_every=3)
+        for i in range(7):
+            m.on_completion(done_job(i, 0.0, 0.0, 1.0), float(i + 1), float(i))
+        # first completion always recorded, then every 3rd.
+        assert [p.n_completed for p in m.series] == [1, 3, 6]
+        m.close(8.0, 99.0)
+        assert m.series[-1].n_completed == 7
+
+    def test_close_idempotent_when_sampled(self):
+        m = MetricsCollector(record_every=1)
+        m.on_completion(done_job(1, 0.0, 0.0, 1.0), 1.0, 10.0)
+        m.close(1.0, 10.0)
+        assert [p.n_completed for p in m.series] == [1]
+
+    def test_totals_from_last_point(self):
+        m = MetricsCollector(record_every=1)
+        m.on_completion(done_job(1, 0.0, 0.0, 100.0), 100.0, JOULES_PER_KWH / 2)
+        assert m.total_energy_kwh() == pytest.approx(0.5)
+        assert m.average_power_watts() == pytest.approx(JOULES_PER_KWH / 2 / 100.0)
+
+    def test_empty_collector_zeros(self):
+        m = MetricsCollector()
+        assert m.mean_latency == 0.0
+        assert m.total_energy_kwh() == 0.0
+        assert m.average_power_watts() == 0.0
+
+    def test_keep_jobs(self):
+        m = MetricsCollector(keep_jobs=True)
+        job = done_job(1, 0.0, 0.0, 1.0)
+        m.on_completion(job, 1.0, 0.0)
+        assert m.completed_jobs == [job]
+
+    def test_series_accessors(self):
+        m = MetricsCollector(record_every=1)
+        m.on_completion(done_job(1, 0.0, 0.0, 10.0), 10.0, JOULES_PER_KWH)
+        assert m.latency_series() == [(1, 10.0)]
+        assert m.energy_series() == [(1, 1.0)]
+
+    def test_invalid_record_every(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(record_every=0)
+
+    def test_arrival_counter(self):
+        m = MetricsCollector()
+        m.on_arrival(done_job(1, 0.0, 0.0, 1.0), 0.0)
+        m.on_arrival(done_job(2, 0.0, 0.0, 1.0), 0.0)
+        assert m.n_arrived == 2

@@ -1,0 +1,86 @@
+"""Tests for repro.sim.power: the Eqn.-(3) power model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.power import PowerModel
+
+
+class TestEquation3:
+    def test_paper_endpoints(self):
+        pm = PowerModel()  # paper defaults: 87 W idle, 145 W peak
+        assert pm.active_power(0.0) == pytest.approx(87.0)
+        # 2*1 - 1^1.4 = 1, so P(1) = P(0) + (P(100)-P(0)) = 145.
+        assert pm.active_power(1.0) == pytest.approx(145.0)
+
+    def test_midpoint_value(self):
+        pm = PowerModel()
+        x = 0.5
+        expected = 87.0 + (145.0 - 87.0) * (2 * x - x**1.4)
+        assert pm.active_power(0.5) == pytest.approx(expected)
+
+    def test_monotonically_increasing(self):
+        pm = PowerModel()
+        xs = np.linspace(0, 1, 101)
+        powers = [pm.active_power(x) for x in xs]
+        assert all(b >= a for a, b in zip(powers, powers[1:]))
+
+    def test_concave_above_linear_interior(self):
+        # 2x - x^1.4 > x on (0, 1): sub-linear utilizations draw
+        # disproportionate power (the energy-proportionality gap).
+        pm = PowerModel()
+        for x in (0.2, 0.5, 0.8):
+            linear = 87.0 + (145.0 - 87.0) * x
+            assert pm.active_power(x) > linear
+
+    def test_clamps_outside_unit_interval(self):
+        pm = PowerModel()
+        assert pm.active_power(-0.5) == pm.active_power(0.0)
+        assert pm.active_power(1.5) == pm.active_power(1.0)
+
+
+class TestValidation:
+    def test_peak_below_idle_raises(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_power=100.0, peak_power=90.0)
+
+    def test_exponent_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            PowerModel(exponent=1.0)
+
+    def test_negative_transition_times_raise(self):
+        with pytest.raises(ValueError):
+            PowerModel(t_on=-1.0)
+
+    def test_transition_power_defaults_to_peak(self):
+        assert PowerModel().transition_power == 145.0
+
+    def test_transition_power_below_idle_raises(self):
+        # The paper bounds transition power below by P(0%).
+        with pytest.raises(ValueError):
+            PowerModel(transition_power=10.0)
+
+    def test_custom_transition_power(self):
+        assert PowerModel(transition_power=100.0).transition_power == 100.0
+
+    def test_negative_sleep_power_raises(self):
+        with pytest.raises(ValueError):
+            PowerModel(sleep_power=-1.0)
+
+    def test_frozen(self):
+        pm = PowerModel()
+        with pytest.raises(AttributeError):
+            pm.idle_power = 10.0
+
+
+class TestEnergy:
+    def test_energy_is_power_times_time(self):
+        pm = PowerModel()
+        assert pm.energy(0.0, 10.0) == pytest.approx(870.0)
+
+    def test_zero_dt(self):
+        assert PowerModel().energy(0.5, 0.0) == 0.0
+
+    def test_negative_dt_raises(self):
+        with pytest.raises(ValueError):
+            PowerModel().energy(0.5, -1.0)

@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.jobs == 3000
+        assert args.servers == "30,40"
+        assert args.seed == 0
+
+    @pytest.mark.parametrize("cmd", ["fig8", "fig9", "fig10", "workload"])
+    def test_subcommands_exist(self, cmd):
+        args = build_parser().parse_args([cmd, "--jobs", "123", "--seed", "9"])
+        assert args.command == cmd
+        assert args.jobs == 123
+        assert args.seed == 9
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig11"])
+
+
+class TestExecution:
+    def test_workload_prints_characterization(self, capsys, tmp_path):
+        out = tmp_path / "trace.csv"
+        rc = main(["workload", "--jobs", "200", "--out", str(out)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "offered load" in captured
+        assert out.exists()
+        from repro.workload.trace import read_trace_csv
+
+        assert len(read_trace_csv(out)) == 200
+
+    @pytest.mark.slow
+    def test_table1_tiny_run(self, capsys):
+        rc = main(["table1", "--jobs", "200", "--servers", "4", "--seed", "0"])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "round-robin" in captured
+        assert "hierarchical" in captured
+        assert "M=4" in captured
+
+    @pytest.mark.slow
+    def test_fig8_csv_to_file(self, tmp_path):
+        out = tmp_path / "fig8.csv"
+        rc = main(["fig8", "--jobs", "200", "--out", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "acc_latency_s" in text
+        assert "energy_kwh" in text

@@ -1,0 +1,63 @@
+"""Tests for repro.workload.segments."""
+
+import pytest
+
+from repro.sim.job import Job
+from repro.workload.segments import rebase, split_segments
+
+
+def mk_jobs(arrivals):
+    return [Job(i, t, 10.0, (0.1, 0.1, 0.1)) for i, t in enumerate(arrivals)]
+
+
+class TestRebase:
+    def test_shifts_to_zero(self):
+        jobs = mk_jobs([100.0, 150.0, 160.0])
+        shifted = rebase(jobs)
+        assert [j.arrival_time for j in shifted] == [0.0, 50.0, 60.0]
+
+    def test_originals_untouched(self):
+        jobs = mk_jobs([100.0, 150.0])
+        rebase(jobs)
+        assert jobs[0].arrival_time == 100.0
+
+    def test_renumbering(self):
+        jobs = mk_jobs([150.0, 100.0])
+        shifted = rebase(jobs)
+        assert [j.job_id for j in shifted] == [0, 1]
+        assert shifted[0].arrival_time == 0.0
+
+    def test_keep_ids(self):
+        jobs = mk_jobs([150.0, 100.0])
+        shifted = rebase(jobs, renumber=False)
+        assert [j.job_id for j in shifted] == [1, 0]
+
+    def test_empty(self):
+        assert rebase([]) == []
+
+
+class TestSplit:
+    def test_segment_sizes(self):
+        segments = split_segments(mk_jobs(range(10)), segment_size=3)
+        assert [len(s) for s in segments] == [3, 3, 3, 1]
+
+    def test_drop_partial(self):
+        segments = split_segments(mk_jobs(range(10)), segment_size=3, drop_partial=True)
+        assert [len(s) for s in segments] == [3, 3, 3]
+
+    def test_segments_rebased(self):
+        segments = split_segments(mk_jobs([0.0, 10.0, 20.0, 30.0]), segment_size=2)
+        assert segments[1][0].arrival_time == 0.0
+        assert segments[1][1].arrival_time == 10.0
+
+    def test_sorts_before_splitting(self):
+        segments = split_segments(mk_jobs([30.0, 0.0, 20.0, 10.0]), segment_size=2)
+        assert [j.arrival_time for j in segments[0]] == [0.0, 10.0]
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            split_segments(mk_jobs([0.0]), segment_size=0)
+
+    def test_exact_multiple(self):
+        segments = split_segments(mk_jobs(range(6)), segment_size=3)
+        assert len(segments) == 2

@@ -1,0 +1,54 @@
+"""Tests for repro.workload.stats."""
+
+import pytest
+
+from repro.sim.job import Job
+from repro.workload.stats import characterize
+
+
+def mk_job(i, arrival, duration=100.0, cpu=0.5):
+    return Job(i, arrival, duration, (cpu, 0.2, 0.1))
+
+
+class TestCharacterize:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            characterize([])
+
+    def test_counts_and_span(self):
+        stats = characterize([mk_job(0, 0.0), mk_job(1, 50.0), mk_job(2, 100.0)])
+        assert stats.n_jobs == 3
+        assert stats.span == pytest.approx(100.0)
+        assert stats.arrival_rate == pytest.approx(0.03)
+
+    def test_interarrival_stats(self):
+        stats = characterize([mk_job(0, 0.0), mk_job(1, 10.0), mk_job(2, 30.0)])
+        assert stats.interarrival_mean == pytest.approx(15.0)
+        assert stats.interarrival_cv == pytest.approx(5.0 / 15.0)
+
+    def test_duration_percentiles(self):
+        jobs = [mk_job(i, float(i), duration=60.0 + i) for i in range(100)]
+        stats = characterize(jobs)
+        assert stats.duration_min == 60.0
+        assert stats.duration_max == 159.0
+        assert 100.0 <= stats.duration_p50 <= 120.0
+
+    def test_mean_demand(self):
+        stats = characterize([mk_job(0, 0.0, cpu=0.2), mk_job(1, 1.0, cpu=0.8)])
+        assert stats.mean_demand[0] == pytest.approx(0.5)
+
+    def test_offered_load(self):
+        # 1 job/s  x  100 s  x  0.5 cpu  = 50 server-equivalents.
+        jobs = [mk_job(i, float(i)) for i in range(101)]
+        stats = characterize(jobs)
+        assert stats.offered_load == pytest.approx(1.0 * 100.0 * 0.5, rel=0.02)
+
+    def test_single_job(self):
+        stats = characterize([mk_job(0, 5.0)])
+        assert stats.n_jobs == 1
+        assert stats.interarrival_mean == 0.0
+
+    def test_summary_is_readable(self):
+        text = characterize([mk_job(0, 0.0), mk_job(1, 60.0)]).summary()
+        assert "jobs:" in text and "offered load" in text
+        assert "cpu=0.500" in text

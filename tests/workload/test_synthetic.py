@@ -1,0 +1,107 @@
+"""Tests for repro.workload.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.workload.stats import characterize
+from repro.workload.synthetic import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def medium_trace():
+    config = SyntheticTraceConfig(n_jobs=3000, horizon=3000 / (100_000 / (7 * 86400.0)))
+    return config, generate_trace(config, seed=11)
+
+
+class TestGeneration:
+    def test_job_count(self, medium_trace):
+        config, jobs = medium_trace
+        assert len(jobs) == 3000
+
+    def test_sorted_by_arrival(self, medium_trace):
+        _, jobs = medium_trace
+        arrivals = [j.arrival_time for j in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_sequential_ids(self, medium_trace):
+        _, jobs = medium_trace
+        assert [j.job_id for j in jobs] == list(range(3000))
+
+    def test_durations_within_paper_bounds(self, medium_trace):
+        config, jobs = medium_trace
+        for job in jobs:
+            assert config.min_duration <= job.duration <= config.max_duration
+
+    def test_resources_in_unit_interval(self, medium_trace):
+        _, jobs = medium_trace
+        for job in jobs:
+            assert all(0.0 < r <= 1.0 for r in job.resources)
+            assert len(job.resources) == 3
+
+    def test_deterministic_per_seed(self):
+        config = SyntheticTraceConfig(n_jobs=100, horizon=10_000.0)
+        a = generate_trace(config, seed=5)
+        b = generate_trace(config, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        config = SyntheticTraceConfig(n_jobs=100, horizon=10_000.0)
+        a = generate_trace(config, seed=5)
+        b = generate_trace(config, seed=6)
+        assert a != b
+
+    def test_start_id_offset(self):
+        config = SyntheticTraceConfig(n_jobs=10, horizon=1000.0)
+        jobs = generate_trace(config, seed=0, start_id=500)
+        assert jobs[0].job_id == 500
+
+    def test_mean_rate_near_target_over_full_cycles(self):
+        # Short traces sit on a diurnal peak or trough by design; over
+        # several full day cycles the mean rate must approach the target.
+        config = SyntheticTraceConfig(
+            n_jobs=20_000, horizon=20_000 / (100_000 / (7 * 86400.0))
+        )
+        stats = characterize(generate_trace(config, seed=11))
+        assert stats.arrival_rate == pytest.approx(config.base_rate, rel=0.35)
+
+    def test_arrivals_burstier_than_poisson(self, medium_trace):
+        # Diurnal modulation + bursts => inter-arrival CV above 1.
+        _, jobs = medium_trace
+        stats = characterize(jobs)
+        assert stats.interarrival_cv > 1.0
+
+    def test_resource_correlation_positive(self, medium_trace):
+        _, jobs = medium_trace
+        demand = np.array([j.resources for j in jobs])
+        corr = np.corrcoef(demand[:, 0], demand[:, 1])[0, 1]
+        assert corr > 0.15
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_jobs": 0},
+            {"horizon": 0.0},
+            {"diurnal_amplitude": 1.0},
+            {"burst_rate_multiplier": 0.5},
+            {"min_duration": 0.0},
+            {"min_duration": 100.0, "max_duration": 50.0},
+            {"correlation": 1.5},
+            {"resource_floor": 0.0},
+        ],
+    )
+    def test_invalid_config_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(**kwargs)
+
+    def test_base_rate(self):
+        config = SyntheticTraceConfig(n_jobs=1000, horizon=2000.0)
+        assert config.base_rate == pytest.approx(0.5)
+
+    def test_defaults_are_paper_scale(self):
+        config = SyntheticTraceConfig()
+        assert config.n_jobs == 100_000
+        assert config.horizon == pytest.approx(7 * 86400.0)
+        assert config.min_duration == 60.0
+        assert config.max_duration == 7200.0

@@ -1,0 +1,142 @@
+"""Tests for repro.workload.trace."""
+
+import numpy as np
+import pytest
+
+from repro.sim.job import Job
+from repro.workload.trace import (
+    jobs_from_arrays,
+    read_google_task_events,
+    read_trace_csv,
+    write_trace_csv,
+)
+
+
+@pytest.fixture
+def sample_jobs():
+    return [
+        Job(0, 0.0, 60.0, (0.5, 0.2, 0.1)),
+        Job(1, 12.5, 3600.0, (0.25, 0.125, 0.0625)),
+        Job(2, 100.0, 7200.0, (1.0, 1.0, 1.0)),
+    ]
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_exact(self, sample_jobs, tmp_path):
+        path = tmp_path / "trace.csv"
+        count = write_trace_csv(sample_jobs, path)
+        assert count == 3
+        back = read_trace_csv(path)
+        assert back == sample_jobs
+        # repr() serialization keeps floats bit-exact.
+        assert back[1].arrival_time == 12.5
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            read_trace_csv(path)
+
+    def test_bad_row_raises(self, tmp_path, sample_jobs):
+        path = tmp_path / "trace.csv"
+        write_trace_csv(sample_jobs, path)
+        with path.open("a") as fh:
+            fh.write("1,2\n")
+        with pytest.raises(ValueError, match="fields"):
+            read_trace_csv(path)
+
+
+class TestJobsFromArrays:
+    def test_basic(self):
+        jobs = jobs_from_arrays(
+            [0.0, 5.0], [10.0, 20.0], [(0.1, 0.2, 0.3), (0.4, 0.5, 0.6)]
+        )
+        assert [j.job_id for j in jobs] == [0, 1]
+        assert jobs[1].resources == (0.4, 0.5, 0.6)
+
+    def test_sorts_by_arrival(self):
+        jobs = jobs_from_arrays(
+            [5.0, 0.0], [10.0, 20.0], [(0.1, 0.1, 0.1), (0.2, 0.2, 0.2)]
+        )
+        assert jobs[0].arrival_time == 0.0
+        assert jobs[0].resources == (0.2, 0.2, 0.2)
+        assert [j.job_id for j in jobs] == [0, 1]
+
+    def test_start_id(self):
+        jobs = jobs_from_arrays([0.0], [1.0], [(0.1, 0.1, 0.1)], start_id=100)
+        assert jobs[0].job_id == 100
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            jobs_from_arrays([0.0, 1.0], [1.0], [(0.1, 0.1, 0.1)])
+
+
+def google_row(time_us, job_id, event, cpu, mem, disk):
+    return (
+        f"{time_us},,{job_id},0,machine,{event},user,class,prio,{cpu},{mem},{disk},0"
+    )
+
+
+class TestGoogleTaskEvents:
+    def test_pairs_submit_and_finish(self, tmp_path):
+        path = tmp_path / "part-00000.csv"
+        rows = [
+            google_row(1_000_000, 7, 0, 0.5, 0.25, 0.1),  # submit t=1s
+            google_row(121_000_000, 7, 4, 0.5, 0.25, 0.1),  # finish t=121s
+            google_row(2_000_000, 8, 0, 0.3, 0.1, 0.1),  # submit t=2s
+            google_row(1_000_000_000, 8, 4, 0.3, 0.1, 0.1),  # finish t=1000s
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        jobs = read_google_task_events([path])
+        assert len(jobs) == 2
+        assert jobs[0].arrival_time == 0.0  # re-based
+        assert jobs[0].duration == pytest.approx(120.0)
+        assert jobs[0].resources == (0.5, 0.25, 0.1)
+
+    def test_duration_filter(self, tmp_path):
+        path = tmp_path / "p.csv"
+        rows = [
+            google_row(0, 1, 0, 0.5, 0.2, 0.1),
+            google_row(5_000_000, 1, 4, 0.5, 0.2, 0.1),  # 5 s: too short
+            google_row(0, 2, 0, 0.5, 0.2, 0.1),
+            google_row(10_000_000_000, 2, 4, 0.5, 0.2, 0.1),  # 10000 s: too long
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        assert read_google_task_events([path]) == []
+
+    def test_unfinished_jobs_skipped(self, tmp_path):
+        path = tmp_path / "p.csv"
+        path.write_text(google_row(0, 1, 0, 0.5, 0.2, 0.1) + "\n")
+        assert read_google_task_events([path]) == []
+
+    def test_malformed_rows_skipped(self, tmp_path):
+        path = tmp_path / "p.csv"
+        rows = [
+            "not,a,valid,row",
+            google_row(0, 1, 0, 0.5, 0.2, 0.1),
+            google_row(120_000_000, 1, 4, 0.5, 0.2, 0.1),
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        assert len(read_google_task_events([path])) == 1
+
+    def test_invalid_resources_skipped(self, tmp_path):
+        path = tmp_path / "p.csv"
+        rows = [
+            google_row(0, 1, 0, 0.0, 0.2, 0.1),  # zero cpu request
+            google_row(120_000_000, 1, 4, 0.0, 0.2, 0.1),
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        assert read_google_task_events([path]) == []
+
+    def test_sorted_output(self, tmp_path):
+        path = tmp_path / "p.csv"
+        rows = [
+            google_row(50_000_000, 2, 0, 0.3, 0.2, 0.1),
+            google_row(200_000_000, 2, 4, 0.3, 0.2, 0.1),
+            google_row(1_000_000, 1, 0, 0.5, 0.2, 0.1),
+            google_row(121_000_000, 1, 4, 0.5, 0.2, 0.1),
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        jobs = read_google_task_events([path])
+        arrivals = [j.arrival_time for j in jobs]
+        assert arrivals == sorted(arrivals)

@@ -1,0 +1,41 @@
+"""Regression test: trace CSVs must round-trip numpy-scalar resources.
+
+Under NumPy >= 2, ``repr(np.float64(x))`` is ``"np.float64(x)"`` — not
+parseable. Jobs built from numpy arrays (e.g. the synthetic generator)
+must still serialize to plain numeric text.
+"""
+
+import numpy as np
+
+from repro.sim.job import Job
+from repro.workload.synthetic import SyntheticTraceConfig, generate_trace
+from repro.workload.trace import read_trace_csv, write_trace_csv
+
+
+def test_numpy_scalar_fields_roundtrip(tmp_path):
+    job = Job(
+        0,
+        float(np.float64(1.5)),
+        200.0,
+        (np.float64(0.25), np.float64(0.5), np.float64(0.125)),
+    )
+    path = tmp_path / "t.csv"
+    write_trace_csv([job], path)
+    text = path.read_text()
+    assert "np.float64" not in text
+    back = read_trace_csv(path)
+    assert back[0].resources == (0.25, 0.5, 0.125)
+
+
+def test_synthetic_trace_resources_are_plain_floats():
+    jobs = generate_trace(SyntheticTraceConfig(n_jobs=5, horizon=100.0), seed=0)
+    for job in jobs:
+        assert all(type(r) is float for r in job.resources)
+        assert type(job.arrival_time) is float
+
+
+def test_synthetic_trace_roundtrips(tmp_path):
+    jobs = generate_trace(SyntheticTraceConfig(n_jobs=20, horizon=100.0), seed=1)
+    path = tmp_path / "syn.csv"
+    write_trace_csv(jobs, path)
+    assert read_trace_csv(path) == jobs
