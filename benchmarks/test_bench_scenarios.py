@@ -1,0 +1,103 @@
+"""Experiment E6 — scenario sweep throughput.
+
+Smoke-benchmarks the orchestrator on a small (scenario × system) grid:
+
+* per-scenario wall time for one cell (the unit of parallel work);
+* parallel speedup of the full grid versus serial execution, which
+  should approach min(grid size, cores) for these independent cells;
+* cached re-run time, which should be effectively zero.
+
+Scale with ``REPRO_BENCH_SCENARIO_JOBS`` (default 200 jobs per cell —
+the grid retrains nothing DRL by default, so cells are simulation-bound).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.harness.report import format_table
+from repro.scenarios import registry
+from repro.scenarios.orchestrator import run_cell, sweep
+from repro.scenarios.store import ResultStore
+
+SCENARIO_JOBS = int(os.environ.get("REPRO_BENCH_SCENARIO_JOBS", "200"))
+#: Non-learning systems keep the bench about orchestration, not training.
+BENCH_SYSTEMS = ("round-robin", "packing")
+
+
+@pytest.fixture(scope="module")
+def sweep_kwargs(bench_seed):
+    return dict(
+        scenarios=list(registry.names()),
+        systems=BENCH_SYSTEMS,
+        seeds=(bench_seed,),
+        n_jobs=SCENARIO_JOBS,
+    )
+
+
+def test_bench_single_cells(out_dir, bench_seed):
+    """Wall time of one cell per scenario (round-robin reference system)."""
+    rows = []
+    for name in registry.names():
+        t0 = time.perf_counter()
+        result = run_cell(name, "round-robin", n_jobs=SCENARIO_JOBS, seed=bench_seed)
+        elapsed = time.perf_counter() - t0
+        rows.append(
+            [
+                name,
+                result["n_jobs_offered"],
+                f"{elapsed:.2f}",
+                f"{result['energy_kwh']:.2f}",
+                f"{result['mean_latency_s']:.1f}",
+            ]
+        )
+    text = format_table(
+        ["Scenario", "Jobs", "Wall (s)", "Energy (kWh)", "Mean lat (s)"], rows
+    )
+    save_artifact(out_dir, "bench_scenario_cells.txt", text)
+
+
+def test_bench_parallel_speedup(out_dir, sweep_kwargs):
+    """Serial vs parallel sweep of the full builtin grid (no cache)."""
+    t0 = time.perf_counter()
+    serial = sweep(workers=1, use_cache=False, **sweep_kwargs)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = sweep(workers=None, use_cache=False, **sweep_kwargs)
+    t_parallel = time.perf_counter() - t0
+
+    assert serial.results == parallel.results, "parallel must bit-match serial"
+    cells = len(serial.results)
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    text = "\n".join(
+        [
+            f"grid cells: {cells} ({len(registry.names())} scenarios x "
+            f"{len(BENCH_SYSTEMS)} systems), {SCENARIO_JOBS} jobs/cell",
+            f"serial:   {t_serial:.2f} s ({t_serial / cells:.2f} s/cell)",
+            f"parallel: {t_parallel:.2f} s on {os.cpu_count()} cores",
+            f"speedup:  {speedup:.2f}x",
+        ]
+    )
+    save_artifact(out_dir, "bench_scenario_sweep.txt", text)
+
+
+def test_bench_cached_rerun(out_dir, sweep_kwargs, tmp_path):
+    """A warm cache answers the whole grid without recomputation."""
+    store = ResultStore(tmp_path / "cache")
+    sweep(workers=None, store=store, **sweep_kwargs)
+
+    t0 = time.perf_counter()
+    warm = sweep(workers=None, store=store, **sweep_kwargs)
+    t_warm = time.perf_counter() - t0
+
+    assert warm.n_computed == 0
+    assert warm.n_cached == len(warm.results)
+    text = (
+        f"warm-cache sweep of {len(warm.results)} cells: {t_warm * 1000:.1f} ms"
+    )
+    save_artifact(out_dir, "bench_scenario_cache.txt", text)

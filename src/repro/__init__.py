@@ -15,9 +15,11 @@ Subpackages
   tier + LSTM/RL local tier, plus all baselines.
 * :mod:`repro.harness` — experiment harness regenerating every table
   and figure of the paper's evaluation.
+* :mod:`repro.scenarios` — named experiment scenarios (workload ×
+  fleet × churn) plus a parallel, content-cached sweep orchestrator.
 * :mod:`repro.cli` — ``python -m repro`` command-line entry point.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

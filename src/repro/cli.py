@@ -7,11 +7,19 @@ Usage::
     python -m repro fig9     [--jobs N] [--seed S] [--out FILE]
     python -m repro fig10    [--jobs N] [--seed S] [--out FILE]
     python -m repro workload [--jobs N] [--seed S] [--out FILE]
+    python -m repro systems
+    python -m repro scenario list
+    python -m repro scenario run   --name NAME [--system SYS] [--jobs N]
+    python -m repro scenario sweep [--scenarios a,b] [--systems x,y]
+                                   [--seeds 0,1] [--jobs N] [--workers W]
 
 ``table1`` prints the paper-style summary table plus the recomputed
 headline claims; the figure commands print (or write) the CSV series the
 paper plots; ``workload`` generates and characterizes a synthetic trace
-(optionally writing it as a canonical trace CSV).
+(optionally writing it as a canonical trace CSV); ``systems`` lists the
+named systems; ``scenario`` drives the scenario suite — ``sweep`` fans
+the (scenario × system × seed) grid out over a process pool and caches
+each cell under ``.repro-cache/`` so re-runs return instantly.
 """
 
 from __future__ import annotations
@@ -94,10 +102,81 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_systems(args: argparse.Namespace) -> int:
+    from repro.harness.report import format_table
+    from repro.harness.runner import SYSTEM_DESCRIPTIONS
+
+    text = format_table(
+        ["System", "Description"],
+        [[name, desc] for name, desc in SYSTEM_DESCRIPTIONS.items()],
+    )
+    _emit(text, args.out)
+    return 0
+
+
+def _split_csv(value: str) -> list[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import registry
+
+    if args.action == "list":
+        _emit(registry.scenario_catalog(), args.out)
+        return 0
+
+    if args.action == "run":
+        from repro.harness.runner import make_scenario_system, run_system
+
+        system, eval_jobs, events = make_scenario_system(
+            args.system, args.name, n_jobs=args.jobs, seed=args.seed
+        )
+        result = run_system(system, eval_jobs, capacity_events=events)
+        spec = registry.get(args.name)
+        lines = [
+            f"scenario: {spec.name} ({spec.description})",
+            f"system: {args.system}  servers: {result.num_servers}  "
+            f"jobs: {result.n_jobs}  churn events: {len(events)}",
+            f"energy: {result.energy_kwh:.2f} kWh  "
+            f"latency: {result.acc_latency_1e6:.3f}e6 s  "
+            f"mean latency: {result.mean_latency:.1f} s  "
+            f"power: {result.average_power:.2f} W",
+        ]
+        _emit("\n".join(lines), args.out)
+        return 0
+
+    # action == "sweep"
+    from repro.scenarios.orchestrator import sweep
+    from repro.scenarios.store import ResultStore
+
+    report = sweep(
+        scenarios=_split_csv(args.scenarios) if args.scenarios else None,
+        systems=tuple(_split_csv(args.systems)),
+        seeds=tuple(int(s) for s in _split_csv(args.seeds)),
+        n_jobs=args.jobs,
+        workers=args.workers,
+        store=ResultStore(args.cache_dir),
+        use_cache=not args.no_cache,
+        force=args.force,
+    )
+    text = report.render_csv() if args.csv else report.render_table()
+    text += (
+        f"\n# {len(report.results)} cells: {report.n_cached} cached, "
+        f"{report.n_computed} computed"
+    )
+    _emit(text, args.out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate experiments from Liu et al., ICDCS 2017.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -111,6 +190,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_wl = sub.add_parser("workload", help="generate/characterize a trace")
     _add_common(p_wl, default_jobs=5000)
+
+    p_sys = sub.add_parser("systems", help="list named systems")
+    p_sys.add_argument("--out", type=Path, default=None)
+
+    p_sc = sub.add_parser("scenario", help="scenario suite + parallel sweeps")
+    sc_sub = p_sc.add_subparsers(dest="action", required=True)
+
+    sc_list = sc_sub.add_parser("list", help="catalog of registered scenarios")
+    sc_list.add_argument("--out", type=Path, default=None)
+
+    sc_run = sc_sub.add_parser("run", help="run one scenario × system cell")
+    sc_run.add_argument("--name", required=True, help="scenario name")
+    sc_run.add_argument("--system", default="round-robin",
+                        help="named system (default round-robin)")
+    _add_common(sc_run, default_jobs=600)
+
+    sc_sweep = sc_sub.add_parser(
+        "sweep", help="parallel (scenario x system x seed) grid with caching"
+    )
+    sc_sweep.add_argument("--scenarios", default=None,
+                          help="comma-separated names (default: all registered)")
+    sc_sweep.add_argument("--systems", default="round-robin,drl-only,hierarchical",
+                          help="comma-separated system names")
+    sc_sweep.add_argument("--seeds", default="0", help="comma-separated seeds")
+    sc_sweep.add_argument("--jobs", type=int, default=600,
+                          help="evaluation trace length per cell (default 600)")
+    sc_sweep.add_argument("--workers", type=int, default=None,
+                          help="process-pool size (default: CPU count; 1 = serial)")
+    sc_sweep.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"),
+                          help="result-store directory (default .repro-cache)")
+    sc_sweep.add_argument("--no-cache", action="store_true",
+                          help="neither read nor write the result store")
+    sc_sweep.add_argument("--force", action="store_true",
+                          help="recompute every cell, overwriting the cache")
+    sc_sweep.add_argument("--csv", action="store_true",
+                          help="emit CSV instead of the aligned table")
+    sc_sweep.add_argument("--out", type=Path, default=None)
     return parser
 
 
@@ -124,6 +240,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fig10(args)
     if args.command == "workload":
         return _cmd_workload(args)
+    if args.command == "systems":
+        return _cmd_systems(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

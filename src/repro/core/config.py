@@ -172,11 +172,18 @@ class LocalTierConfig:
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """One simulation cell: cluster size, physics, and both tiers."""
+    """One simulation cell: cluster size, physics, and both tiers.
+
+    ``power_model`` is the reference (homogeneous) server model; setting
+    ``power_models`` to one model per server instead builds a
+    heterogeneous fleet (mixed efficiency generations), in which case
+    ``power_model`` is only used for cluster-level reward scales.
+    """
 
     num_servers: int = 30
     num_resources: int = 3
     power_model: PowerModel = field(default_factory=PowerModel)
+    power_models: tuple[PowerModel, ...] | None = None
     overload_threshold: float = 0.9
     global_tier: GlobalTierConfig = field(default_factory=GlobalTierConfig)
     local_tier: LocalTierConfig = field(default_factory=LocalTierConfig)
@@ -191,3 +198,13 @@ class ExperimentConfig:
                 f"num_servers ({self.num_servers}) must be divisible by "
                 f"num_groups ({self.global_tier.num_groups})"
             )
+        if self.power_models is not None and len(self.power_models) != self.num_servers:
+            raise ValueError(
+                f"power_models has {len(self.power_models)} entries for "
+                f"{self.num_servers} servers"
+            )
+
+    @property
+    def fleet_power_models(self) -> "PowerModel | tuple[PowerModel, ...]":
+        """What the simulator should build: per-server models or the shared one."""
+        return self.power_models if self.power_models is not None else self.power_model

@@ -195,7 +195,7 @@ def offline_pretrain(
     traces: Sequence[Sequence[Job]],
     policy_factory: Callable[[], Sequence[PowerPolicy] | PowerPolicy],
     seed_broker_factory: Callable[[], Broker] | None = None,
-    power_model: PowerModel | None = None,
+    power_model: PowerModel | Sequence[PowerModel] | None = None,
     initially_on: bool = False,
     autoencoder_epochs: int = 10,
     q_epochs: int = 3,

@@ -26,6 +26,7 @@ from repro.core.local_tier import RLPowerPolicy
 from repro.core.predictor import WorkloadPredictor
 from repro.core.state import StateEncoder
 from repro.rl.smdp import SMDPQLearner
+from repro.sim.churn import CapacityEvent
 from repro.sim.engine import ClusterEngine, build_simulation
 from repro.sim.interfaces import Broker, PowerPolicy
 from repro.sim.job import Job
@@ -42,23 +43,35 @@ class HierarchicalSystem:
     initially_on: bool = False
     predictor: WorkloadPredictor | None = None
 
-    def build_engine(self, record_every: int | None = None, keep_jobs: bool = False) -> ClusterEngine:
+    def build_engine(
+        self,
+        record_every: int | None = None,
+        keep_jobs: bool = False,
+        capacity_events: tuple[CapacityEvent, ...] = (),
+    ) -> ClusterEngine:
         """Construct a simulation engine around this system."""
         return build_simulation(
             num_servers=self.config.num_servers,
             broker=self.broker,
             policies=self.policies,
-            power_model=self.config.power_model,
+            power_model=self.config.fleet_power_models,
             num_resources=self.config.num_resources,
             overload_threshold=self.config.overload_threshold,
             initially_on=self.initially_on,
             record_every=record_every if record_every is not None else self.config.record_every,
             keep_jobs=keep_jobs,
+            capacity_events=capacity_events,
         )
 
-    def run(self, jobs: list[Job], record_every: int | None = None, keep_jobs: bool = False):
+    def run(
+        self,
+        jobs: list[Job],
+        record_every: int | None = None,
+        keep_jobs: bool = False,
+        capacity_events: tuple[CapacityEvent, ...] = (),
+    ):
         """Convenience: build an engine and run the trace."""
-        return self.build_engine(record_every, keep_jobs).run(jobs)
+        return self.build_engine(record_every, keep_jobs, capacity_events).run(jobs)
 
     def freeze(self) -> None:
         """Put every learning component into greedy evaluation mode."""

@@ -19,10 +19,12 @@ from repro.harness.report import format_table
 from repro.harness.runner import (
     RunResult,
     clone_global_broker,
+    make_scenario_system,
     make_system,
     needs_global_tier,
     run_system,
     standard_protocol,
+    SYSTEM_DESCRIPTIONS,
     SYSTEM_NAMES,
     train_global_prototype,
 )
@@ -39,10 +41,12 @@ __all__ = [
     "format_table",
     "RunResult",
     "clone_global_broker",
+    "make_scenario_system",
     "make_system",
     "needs_global_tier",
     "run_system",
     "standard_protocol",
+    "SYSTEM_DESCRIPTIONS",
     "SYSTEM_NAMES",
     "train_global_prototype",
     "Table1Row",

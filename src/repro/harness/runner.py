@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -54,7 +55,11 @@ from repro.core.hierarchical import (
     pretrain_predictor,
 )
 from repro.core.predictor import WorkloadPredictor
+from repro.sim.churn import CapacityEvent
 from repro.sim.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.scenarios.specs import ScenarioSpec
 
 SYSTEM_NAMES = (
     "round-robin",
@@ -64,6 +69,17 @@ SYSTEM_NAMES = (
     "drl-only",
     "hierarchical",
 )
+
+#: One-line description per named system (``python -m repro systems``).
+SYSTEM_DESCRIPTIONS = {
+    "round-robin": "Round-robin dispatch, servers always on (paper baseline)",
+    "random": "Uniform-random dispatch, servers always on",
+    "least-loaded": "Dispatch to the least CPU-loaded server, always on",
+    "packing": "Greedy first-fit packing with immediate sleep",
+    "drl-only": "DRL global tier with ad-hoc immediate sleep (Fig. 4a)",
+    "drl+fixed-T": "DRL global tier with a fixed local timeout of T seconds",
+    "hierarchical": "Full framework: DRL global tier + RL/LSTM local tier",
+}
 
 _FIXED_RE = re.compile(r"^drl\+fixed-(\d+(?:\.\d+)?)$")
 
@@ -99,9 +115,22 @@ class RunResult:
         return self.energy_kwh * 1000.0 / self.n_jobs
 
 
-def run_system(system: HierarchicalSystem, jobs: list[Job], record_every: int = 200) -> RunResult:
-    """Evaluate a (possibly trained) system on a fresh copy of a trace."""
-    result = system.run([job.copy() for job in jobs], record_every=record_every)
+def run_system(
+    system: HierarchicalSystem,
+    jobs: list[Job],
+    record_every: int = 200,
+    capacity_events: tuple[CapacityEvent, ...] = (),
+) -> RunResult:
+    """Evaluate a (possibly trained) system on a fresh copy of a trace.
+
+    ``capacity_events`` schedules churn (failures / maintenance drains)
+    into the evaluation run; training runs are never churned.
+    """
+    result = system.run(
+        [job.copy() for job in jobs],
+        record_every=record_every,
+        capacity_events=capacity_events,
+    )
     metrics = result.metrics
     return RunResult(
         name=system.name,
@@ -143,7 +172,7 @@ def train_global_prototype(
             broker,
             train_traces,
             policy_factory=lambda: ImmediateSleepPolicy(),
-            power_model=config.power_model,
+            power_model=config.fleet_power_models,
             autoencoder_epochs=5,
             q_epochs=2,
             batches_per_epoch=100,
@@ -302,6 +331,37 @@ def make_system(
         for trace in train_traces:
             system.run([job.copy() for job in trace])
     return system
+
+
+def make_scenario_system(
+    name: str,
+    scenario: "ScenarioSpec | str",
+    n_jobs: int,
+    seed: int = 0,
+    **make_kwargs,
+) -> tuple[HierarchicalSystem, list[Job], tuple[CapacityEvent, ...]]:
+    """Build a named system from a scenario instead of ``default_config``.
+
+    Resolves the scenario (by name via the registry, or a spec
+    directly), generates its traces with independently spawned seed
+    streams, trains the system on the training segments, and returns
+    ``(system, eval_jobs, capacity_events)`` ready for
+    :func:`run_system`.
+    """
+    from repro.scenarios import registry
+
+    spec = registry.get(scenario) if isinstance(scenario, str) else scenario
+    trace_ss, system_ss = np.random.SeedSequence(seed).spawn(2)
+    config = spec.experiment_config(seed=seed)
+    eval_jobs, train_traces = spec.build_traces(n_jobs, trace_ss)
+    system = make_system(
+        name,
+        config,
+        train_traces,
+        seed=int(system_ss.generate_state(1)[0]),
+        **make_kwargs,
+    )
+    return system, eval_jobs, spec.capacity_events(spec.horizon_for(n_jobs))
 
 
 def standard_protocol(

@@ -12,10 +12,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.core.config import ExperimentConfig, GlobalTierConfig
 from repro.harness.report import format_table
 from repro.harness.runner import RunResult, standard_protocol
-from repro.workload.synthetic import SyntheticTraceConfig, generate_trace
+from repro.workload.synthetic import (
+    REFERENCE_SERVERS,
+    SyntheticTraceConfig,
+    generate_trace,
+    reference_rate,
+)
 
 #: The three systems Table I compares, in the paper's order.
 TABLE1_SYSTEMS = ("round-robin", "drl-only", "hierarchical")
@@ -59,11 +66,6 @@ def default_config(num_servers: int, seed: int = 0) -> ExperimentConfig:
     )
 
 
-#: Cluster size the base synthetic intensity targets (the paper's M = 30;
-#: the same trace also drives M = 40, as in Table I).
-REFERENCE_SERVERS = 30
-
-
 def make_traces(
     n_jobs: int,
     num_servers: int,
@@ -80,14 +82,17 @@ def make_traces(
     pathologically overloaded.
     """
     base = SyntheticTraceConfig()
-    scale = min(num_servers, REFERENCE_SERVERS) / REFERENCE_SERVERS
-    rate = base.base_rate * scale
+    rate = reference_rate(num_servers)
+    # Independent child streams per trace (never plain seed+i offsets,
+    # which collide with other traces seeded nearby).
+    eval_ss, *train_ss = np.random.SeedSequence(seed).spawn(1 + n_train_segments)
     eval_cfg = replace(base, n_jobs=n_jobs, horizon=n_jobs / rate)
-    eval_jobs = generate_trace(eval_cfg, seed=seed)
+    eval_jobs = generate_trace(eval_cfg, seed=np.random.default_rng(eval_ss))
     train_jobs = max(int(n_jobs * train_fraction), 200)
     train_cfg = replace(base, n_jobs=train_jobs, horizon=train_jobs / rate)
     train_traces = [
-        generate_trace(train_cfg, seed=seed + 1 + i) for i in range(n_train_segments)
+        generate_trace(train_cfg, seed=np.random.default_rng(child))
+        for child in train_ss
     ]
     return eval_jobs, train_traces
 

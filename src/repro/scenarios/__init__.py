@@ -1,0 +1,63 @@
+"""Scenario suite and parallel experiment orchestration.
+
+The paper evaluates one workload on one homogeneous cluster; this
+package turns the reproduction into a *scenario machine*:
+
+* :mod:`repro.scenarios.specs` — declarative, JSON-serializable
+  descriptions of a full experiment: workload recipe
+  (:class:`WorkloadSpec`), fleet composition (:class:`FleetSpec`), and
+  scheduled capacity churn (:class:`CapacityWindowSpec`), bundled into a
+  :class:`ScenarioSpec`.
+* :mod:`repro.scenarios.registry` — named scenario lookup; import-safe
+  registration of user scenarios alongside the builtins.
+* :mod:`repro.scenarios.builtin` — the six stock scenarios, from
+  ``paper-default`` to a churning fleet and a two-tenant mix.
+* :mod:`repro.scenarios.store` — content-keyed JSON result cache under
+  ``.repro-cache/`` so repeated sweeps return instantly.
+* :mod:`repro.scenarios.orchestrator` — fans a (scenario × system ×
+  seed) grid out over ``multiprocessing`` and aggregates the results
+  into :mod:`repro.harness.report` tables/CSVs.
+"""
+
+from repro.scenarios.orchestrator import (
+    SweepCell,
+    SweepReport,
+    aggregate_rows,
+    render_sweep_csv,
+    render_sweep_table,
+    run_cell,
+    sweep,
+)
+from repro.scenarios.registry import get, names, register, scenario_catalog
+from repro.scenarios.specs import (
+    CapacityWindowSpec,
+    FleetSpec,
+    FlashCrowdSpec,
+    JobClassSpec,
+    ScenarioSpec,
+    ServerClassSpec,
+    WorkloadSpec,
+)
+from repro.scenarios.store import ResultStore
+
+__all__ = [
+    "SweepCell",
+    "SweepReport",
+    "aggregate_rows",
+    "render_sweep_csv",
+    "render_sweep_table",
+    "run_cell",
+    "sweep",
+    "get",
+    "names",
+    "register",
+    "scenario_catalog",
+    "CapacityWindowSpec",
+    "FleetSpec",
+    "FlashCrowdSpec",
+    "JobClassSpec",
+    "ScenarioSpec",
+    "ServerClassSpec",
+    "WorkloadSpec",
+    "ResultStore",
+]

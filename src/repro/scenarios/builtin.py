@@ -1,0 +1,164 @@
+"""The builtin scenario suite.
+
+Six scenarios spanning the axes the ROADMAP cares about: the paper's
+own setup, stronger diurnal swings, flash crowds, a mixed-efficiency
+fleet, rolling maintenance churn, and a high-load two-tenant mix. Each
+is a pure parameterization of :class:`~repro.scenarios.specs.ScenarioSpec`;
+importing this module registers all of them.
+
+Workload parameters deliberately stay within the generator's calibrated
+envelope (durations clipped to [1 min, 2 h], Beta resource demands) so
+every scenario remains a plausible Google-like segment rather than a
+synthetic stress toy — except where the scenario's entire point is
+stress (``flash-crowd``, ``tenant-mix``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.scenarios.registry import register
+from repro.scenarios.specs import (
+    CapacityWindowSpec,
+    FleetSpec,
+    FlashCrowdSpec,
+    JobClassSpec,
+    ScenarioSpec,
+    ServerClassSpec,
+    WorkloadSpec,
+    rolling_maintenance,
+)
+from repro.sim.power import PowerModel
+from repro.workload.synthetic import SyntheticTraceConfig
+
+_BASE = SyntheticTraceConfig()
+
+#: Mixed-generation fleet: newer machines idle lower and wake faster;
+#: legacy machines pay more at every utilization.
+EFFICIENT_POWER = PowerModel(idle_power=55.0, peak_power=118.0, t_on=20.0, t_off=20.0)
+STANDARD_POWER = PowerModel()  # the paper's 87 W / 145 W server
+LEGACY_POWER = PowerModel(idle_power=112.0, peak_power=188.0, t_on=45.0, t_off=45.0)
+
+
+PAPER_DEFAULT = register(
+    ScenarioSpec(
+        name="paper-default",
+        description="The paper's setup: one Google-like stream, 30 homogeneous servers",
+    )
+)
+
+DIURNAL_HEAVY = register(
+    ScenarioSpec(
+        name="diurnal-heavy",
+        description="Near-full day/night swing; rewards aggressive off-peak sleeping",
+        workload=WorkloadSpec(
+            classes=(
+                JobClassSpec(
+                    "diurnal",
+                    1.0,
+                    replace(
+                        _BASE,
+                        diurnal_amplitude=0.85,
+                        burst_rate_multiplier=1.5,
+                    ),
+                ),
+            ),
+        ),
+    )
+)
+
+FLASH_CROWD = register(
+    ScenarioSpec(
+        name="flash-crowd",
+        description="Two uncorrelated arrival spikes (6x and 4x) over a calm baseline",
+        workload=WorkloadSpec(
+            classes=(
+                JobClassSpec(
+                    "baseline",
+                    1.0,
+                    replace(_BASE, diurnal_amplitude=0.3, burst_rate_multiplier=1.5),
+                ),
+            ),
+            flash_crowds=(
+                FlashCrowdSpec(start_fraction=0.2, duration_fraction=0.05, rate_multiplier=6.0),
+                FlashCrowdSpec(start_fraction=0.6, duration_fraction=0.08, rate_multiplier=4.0),
+            ),
+        ),
+    )
+)
+
+HETERO_FLEET = register(
+    ScenarioSpec(
+        name="hetero-fleet",
+        description="Mixed fleet: 10 efficient, 10 standard, 10 legacy power profiles",
+        fleet=FleetSpec(
+            classes=(
+                ServerClassSpec("efficient", 10, EFFICIENT_POWER),
+                ServerClassSpec("standard", 10, STANDARD_POWER),
+                ServerClassSpec("legacy", 10, LEGACY_POWER),
+            ),
+        ),
+    )
+)
+
+MAINTENANCE_CHURN = register(
+    ScenarioSpec(
+        name="maintenance-churn",
+        description="Rolling maintenance: 5 staggered waves each draining 3 servers",
+        capacity_windows=rolling_maintenance(
+            num_servers=30, group_size=3, n_waves=5
+        ),
+    )
+)
+
+TENANT_MIX = register(
+    ScenarioSpec(
+        name="tenant-mix",
+        description="High-load mix: diurnal interactive tenant over a bursty batch tenant",
+        workload=WorkloadSpec(
+            classes=(
+                JobClassSpec(
+                    "interactive",
+                    0.65,
+                    replace(
+                        _BASE,
+                        diurnal_amplitude=0.6,
+                        burst_rate_multiplier=1.5,
+                        duration_median=120.0,
+                        duration_sigma=0.8,
+                        cpu_scale=0.3,
+                        mem_scale=0.25,
+                        disk_scale=0.15,
+                    ),
+                ),
+                JobClassSpec(
+                    "batch",
+                    0.35,
+                    replace(
+                        _BASE,
+                        diurnal_amplitude=0.15,
+                        burst_rate_multiplier=4.0,
+                        burst_on_mean=1_800.0,
+                        duration_median=1_500.0,
+                        duration_sigma=0.7,
+                        cpu_scale=0.7,
+                        mem_scale=0.6,
+                        disk_scale=0.5,
+                        correlation=0.8,
+                    ),
+                ),
+            ),
+            rate_scale=1.2,
+        ),
+    )
+)
+
+#: The six stock scenarios, in catalog order.
+BUILTIN_SCENARIOS = (
+    PAPER_DEFAULT,
+    DIURNAL_HEAVY,
+    FLASH_CROWD,
+    HETERO_FLEET,
+    MAINTENANCE_CHURN,
+    TENANT_MIX,
+)

@@ -1,0 +1,338 @@
+"""Parallel (scenario × system × seed) experiment orchestration.
+
+One sweep cell = one scenario, one named system, one seed: the cell
+builds its own traces, trains its own controllers, and simulates its
+own cluster, so cells are fully independent. That independence buys two
+things at once:
+
+* **Parallelism** — cells fan out over a process pool and the grid runs
+  at the machine's core count instead of serially; results are
+  bit-identical to a serial run because every random stream inside a
+  cell derives from the cell's own :class:`~numpy.random.SeedSequence`.
+* **Caching** — each cell is content-keyed by its full request (the
+  scenario's parameters, system, seed, protocol knobs) and stored as
+  JSON under ``.repro-cache/``, so re-running a sweep recomputes only
+  cells whose parameters actually changed.
+
+Note the protocol difference from :mod:`repro.harness.table1`: Table I
+shares one trained global prototype across the DRL systems of a cluster
+to isolate local-tier differences; sweep cells deliberately do *not*
+share state, trading a little extra training work for cacheable,
+order-independent cells.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.harness.report import format_csv, format_table
+from repro.harness.runner import make_scenario_system, run_system
+from repro.scenarios import registry
+from repro.scenarios.specs import ScenarioSpec
+from repro.scenarios.store import SCHEMA_VERSION, ResultStore, content_key
+
+#: Default systems a sweep compares (Table I's comparison set).
+DEFAULT_SWEEP_SYSTEMS = ("round-robin", "drl-only", "hierarchical")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the experiment grid."""
+
+    spec: ScenarioSpec
+    system: str
+    seed: int
+
+
+def _protocol_dict(
+    n_jobs: int,
+    record_every: int,
+    pretrain: bool,
+    online_epochs: int,
+    local_epochs: int,
+) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "n_jobs": n_jobs,
+        "record_every": record_every,
+        "pretrain": pretrain,
+        "online_epochs": online_epochs,
+        "local_epochs": local_epochs,
+    }
+
+
+def cell_request(cell: SweepCell, protocol: dict) -> dict:
+    """The content-keyed request payload identifying one cell's result."""
+    return {
+        "scenario": cell.spec.content_dict(),
+        "system": cell.system,
+        "seed": cell.seed,
+        "protocol": protocol,
+    }
+
+
+def run_cell(
+    scenario: str | ScenarioSpec,
+    system: str,
+    n_jobs: int = 600,
+    seed: int = 0,
+    record_every: int = 200,
+    pretrain: bool = True,
+    online_epochs: int = 1,
+    local_epochs: int = 1,
+) -> dict:
+    """Run one (scenario, system, seed) cell and return JSON-able metrics.
+
+    Deterministic given its arguments: the cell's
+    :class:`~numpy.random.SeedSequence` spawns independent children for
+    trace generation and system construction, so no stream is shared
+    with any other cell (or any other system at the same seed).
+    """
+    spec = registry.get(scenario) if isinstance(scenario, str) else scenario
+    built, eval_jobs, events = make_scenario_system(
+        system,
+        spec,
+        n_jobs,
+        seed=seed,
+        pretrain=pretrain,
+        online_epochs=online_epochs,
+        local_epochs=local_epochs,
+    )
+    result = run_system(
+        built, eval_jobs, record_every=record_every, capacity_events=events
+    )
+    return {
+        "scenario": spec.name,
+        "system": system,
+        "seed": seed,
+        "n_jobs_offered": len(eval_jobs),
+        "n_jobs_completed": result.n_jobs,
+        "num_servers": result.num_servers,
+        "energy_kwh": result.energy_kwh,
+        "acc_latency_s": result.acc_latency,
+        "mean_latency_s": result.mean_latency,
+        "average_power_w": result.average_power,
+        "energy_per_job_wh": result.energy_per_job_wh,
+        "final_time_s": result.final_time,
+        "capacity_events": len(events),
+    }
+
+
+def _execute_cell(args: tuple) -> dict:
+    """Process-pool entry point (must be module-level picklable)."""
+    spec, system, seed, protocol = args
+    return run_cell(
+        spec,
+        system,
+        n_jobs=protocol["n_jobs"],
+        seed=seed,
+        record_every=protocol["record_every"],
+        pretrain=protocol["pretrain"],
+        online_epochs=protocol["online_epochs"],
+        local_epochs=protocol["local_epochs"],
+    )
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep produced: per-cell results plus provenance."""
+
+    results: list[dict]
+    cached: list[bool]
+    keys: list[str]
+
+    @property
+    def n_cached(self) -> int:
+        return sum(self.cached)
+
+    @property
+    def n_computed(self) -> int:
+        return len(self.cached) - self.n_cached
+
+    def rows(self) -> list[dict]:
+        return aggregate_rows(self.results)
+
+    def render_table(self) -> str:
+        return render_sweep_table(self.rows())
+
+    def render_csv(self) -> str:
+        return render_sweep_csv(self.rows())
+
+
+def _pool_workers(workers: int | None, n_tasks: int) -> int:
+    cores = os.cpu_count() or 1
+    limit = workers if workers is not None else cores
+    return max(1, min(limit, n_tasks))
+
+
+def sweep(
+    scenarios: Sequence[str | ScenarioSpec] | None = None,
+    systems: Sequence[str] = DEFAULT_SWEEP_SYSTEMS,
+    seeds: Iterable[int] = (0,),
+    n_jobs: int = 600,
+    workers: int | None = None,
+    store: ResultStore | None = None,
+    use_cache: bool = True,
+    force: bool = False,
+    record_every: int = 200,
+    pretrain: bool = True,
+    online_epochs: int = 1,
+    local_epochs: int = 1,
+) -> SweepReport:
+    """Run the (scenario × system × seed) grid, in parallel, with caching.
+
+    Parameters
+    ----------
+    scenarios:
+        Names or specs; defaults to every registered scenario.
+    systems:
+        Named systems per :data:`repro.harness.runner.SYSTEM_NAMES`.
+    seeds:
+        One full grid per seed (results aggregate over seeds).
+    workers:
+        Process-pool size; default = CPU count. 1 forces serial
+        execution in-process (useful for determinism checks).
+    store:
+        The result cache; defaults to ``.repro-cache/`` in the working
+        directory.
+    use_cache:
+        Disable to neither read nor write the store.
+    force:
+        Recompute every cell, overwriting cached records.
+
+    Results come back in grid order (scenario-major, then system, then
+    seed) regardless of which worker finished first.
+    """
+    if scenarios is None:
+        specs = list(registry.all_scenarios())
+    else:
+        specs = [
+            registry.get(s) if isinstance(s, str) else s for s in scenarios
+        ]
+    if not specs or not systems:
+        raise ValueError("sweep needs at least one scenario and one system")
+    seeds = tuple(seeds)
+    if not seeds:
+        raise ValueError("sweep needs at least one seed")
+    store = store if store is not None else ResultStore()
+    protocol = _protocol_dict(n_jobs, record_every, pretrain, online_epochs, local_epochs)
+
+    cells = [
+        SweepCell(spec, system, seed)
+        for spec in specs
+        for system in systems
+        for seed in seeds
+    ]
+    keys = [content_key(cell_request(cell, protocol)) for cell in cells]
+
+    results: list[dict | None] = [None] * len(cells)
+    cached = [False] * len(cells)
+    pending: list[int] = []
+    for i, key in enumerate(keys):
+        record = store.get(key) if use_cache and not force else None
+        if record is not None:
+            # The key excludes the scenario's cosmetic name, so refresh
+            # the labeling fields in case the scenario was renamed.
+            results[i] = {**record["result"], "scenario": cells[i].spec.name}
+            cached[i] = True
+        else:
+            pending.append(i)
+
+    if pending:
+        tasks = [
+            (cells[i].spec, cells[i].system, cells[i].seed, protocol)
+            for i in pending
+        ]
+        n_workers = _pool_workers(workers, len(tasks))
+        if n_workers == 1:
+            computed = [_execute_cell(task) for task in tasks]
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+                computed = list(pool.map(_execute_cell, tasks))
+        for i, result in zip(pending, computed):
+            results[i] = result
+            if use_cache:
+                store.put(keys[i], cell_request(cells[i], protocol), result)
+
+    return SweepReport(results=list(results), cached=cached, keys=keys)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Aggregation into harness.report renderings
+# ----------------------------------------------------------------------
+
+
+def aggregate_rows(results: Sequence[dict]) -> list[dict]:
+    """Mean metrics per (scenario, system) across seeds, in first-seen order."""
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for result in results:
+        groups.setdefault((result["scenario"], result["system"]), []).append(result)
+    rows = []
+    for (scenario, system), bucket in groups.items():
+        n = len(bucket)
+        rows.append(
+            {
+                "scenario": scenario,
+                "system": system,
+                "num_servers": bucket[0]["num_servers"],
+                "n_seeds": n,
+                "energy_kwh": sum(r["energy_kwh"] for r in bucket) / n,
+                "acc_latency_1e6_s": sum(r["acc_latency_s"] for r in bucket) / n / 1e6,
+                "mean_latency_s": sum(r["mean_latency_s"] for r in bucket) / n,
+                "average_power_w": sum(r["average_power_w"] for r in bucket) / n,
+            }
+        )
+    return rows
+
+
+_SWEEP_HEADERS = [
+    "Scenario",
+    "System",
+    "M",
+    "Seeds",
+    "Energy (kWh)",
+    "Latency (1e6 s)",
+    "Mean lat (s)",
+    "Power (W)",
+]
+
+
+def _sweep_cells(row: dict) -> list:
+    return [
+        row["scenario"],
+        row["system"],
+        row["num_servers"],
+        row["n_seeds"],
+        f"{row['energy_kwh']:.2f}",
+        f"{row['acc_latency_1e6_s']:.3f}",
+        f"{row['mean_latency_s']:.1f}",
+        f"{row['average_power_w']:.2f}",
+    ]
+
+
+def render_sweep_table(rows: Sequence[dict]) -> str:
+    """Paper-style text table of aggregated sweep rows."""
+    return format_table(_SWEEP_HEADERS, [_sweep_cells(row) for row in rows])
+
+
+def render_sweep_csv(rows: Sequence[dict]) -> str:
+    """CSV rendering of aggregated sweep rows."""
+    headers = [
+        "scenario",
+        "system",
+        "num_servers",
+        "n_seeds",
+        "energy_kwh",
+        "acc_latency_1e6_s",
+        "mean_latency_s",
+        "average_power_w",
+    ]
+    return format_csv(headers, [[row[h] for h in headers] for row in rows])

@@ -1,0 +1,96 @@
+"""Named scenario registry.
+
+Scenarios are addressed by name everywhere — CLI, orchestrator, tests —
+so one registration point keeps the catalog coherent. The builtin suite
+(:mod:`repro.scenarios.builtin`) is loaded lazily on first lookup, which
+keeps ``import repro.scenarios.registry`` cheap and cycle-free; user
+code may :func:`register` additional specs at any time.
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import format_table
+from repro.scenarios.specs import ScenarioSpec
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        # Importing the module registers its scenarios as a side effect.
+        # Flag only after success so a failed import reproduces (instead
+        # of silently leaving a partial catalog for the process).
+        import repro.scenarios.builtin  # noqa: F401
+
+        _BUILTINS_LOADED = True
+
+
+def register(spec: ScenarioSpec, overwrite: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry; returns it for chaining.
+
+    Raises
+    ------
+    ValueError
+        If the name is taken and ``overwrite`` is False.
+    """
+    if not overwrite and spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> ScenarioSpec:
+    """Look up a scenario by name.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names, if unknown.
+    """
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(names())}"
+        ) from None
+
+
+def names() -> tuple[str, ...]:
+    """Registered scenario names, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def all_scenarios() -> tuple[ScenarioSpec, ...]:
+    """Every registered spec, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY.values())
+
+
+def scenario_catalog() -> str:
+    """Human-readable catalog table (the ``scenario list`` CLI output)."""
+    rows = []
+    for spec in all_scenarios():
+        fleet = spec.fleet
+        fleet_desc = (
+            f"{fleet.num_servers}"
+            if not fleet.is_heterogeneous
+            else f"{fleet.num_servers} ({len(fleet.classes)} classes)"
+        )
+        rows.append(
+            [
+                spec.name,
+                fleet_desc,
+                len(spec.workload.classes),
+                len(spec.workload.flash_crowds),
+                len(spec.capacity_windows),
+                spec.description,
+            ]
+        )
+    return format_table(
+        ["Scenario", "Servers", "Tenants", "Crowds", "Churn", "Description"],
+        rows,
+    )

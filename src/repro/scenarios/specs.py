@@ -1,0 +1,362 @@
+"""Declarative experiment scenarios: workload × fleet × churn.
+
+A :class:`ScenarioSpec` is a complete, parameter-only description of one
+experiment family — everything needed to build traces, an
+:class:`~repro.core.config.ExperimentConfig`, and a churn schedule from
+just ``(n_jobs, seed)``. Specs are frozen dataclasses of plain numbers
+and strings, so they pickle across ``multiprocessing`` workers and
+serialize to canonical JSON for content-keyed result caching
+(:meth:`ScenarioSpec.content_key`).
+
+Sizing follows the harness convention: the base synthetic intensity
+(100 k jobs/week) targets the paper's 30-machine cluster, larger fleets
+reuse it (Table I evaluates M = 30 and 40 on the same segments), and
+smaller test fleets are fed proportionally lighter load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.config import ExperimentConfig, GlobalTierConfig
+from repro.scenarios.store import content_key
+from repro.sim.churn import CapacityEvent
+from repro.sim.job import Job
+from repro.sim.power import PowerModel
+from repro.workload.mixtures import generate_mixture
+from repro.workload.synthetic import SyntheticTraceConfig, reference_rate
+
+
+def groups_for(num_servers: int) -> int:
+    """K between 2 and 4 dividing M (paper: K in [2, 4])."""
+    for k in (4, 3, 2):
+        if num_servers % k == 0:
+            return k
+    return 1
+
+
+@dataclass(frozen=True)
+class JobClassSpec:
+    """One tenant / job class inside a workload mix."""
+
+    name: str
+    weight: float
+    trace: SyntheticTraceConfig = field(default_factory=SyntheticTraceConfig)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job class name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class FlashCrowdSpec:
+    """A flash-crowd window, positioned as fractions of the trace span."""
+
+    start_fraction: float
+    duration_fraction: float
+    rate_multiplier: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_fraction < 1.0:
+            raise ValueError(f"start_fraction must be in [0, 1), got {self.start_fraction}")
+        if not 0.0 < self.duration_fraction <= 1.0:
+            raise ValueError(
+                f"duration_fraction must be in (0, 1], got {self.duration_fraction}"
+            )
+        if self.rate_multiplier <= 1.0:
+            raise ValueError(
+                f"rate_multiplier must exceed 1, got {self.rate_multiplier}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Recipe for the evaluation trace and its training segments.
+
+    Parameters
+    ----------
+    classes:
+        Weighted job classes; one class reproduces the paper's
+        single-stream setup, several build a multi-tenant mix.
+    flash_crowds:
+        Extra arrival bursts layered on top (drawn from the first
+        class's per-job marginals).
+    rate_scale:
+        Load multiplier on the reference intensity (1.0 = the intensity
+        the paper offers a 30-machine cluster).
+    train_fraction:
+        Training-segment length relative to ``n_jobs`` (min 200 jobs).
+    n_train_segments:
+        Number of independent training segments.
+    """
+
+    classes: tuple[JobClassSpec, ...] = (JobClassSpec("default", 1.0),)
+    flash_crowds: tuple[FlashCrowdSpec, ...] = ()
+    rate_scale: float = 1.0
+    train_fraction: float = 0.5
+    n_train_segments: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("need at least one job class")
+        if self.rate_scale <= 0:
+            raise ValueError(f"rate_scale must be positive, got {self.rate_scale}")
+        if self.n_train_segments < 0:
+            raise ValueError("n_train_segments must be non-negative")
+
+    def horizon_for(self, n_jobs: int, num_servers: int) -> float:
+        """Trace span implied by the reference intensity and fleet size."""
+        return n_jobs / reference_rate(num_servers, self.rate_scale)
+
+    def build(
+        self, n_jobs: int, num_servers: int, seed: int | np.random.SeedSequence
+    ) -> tuple[list[Job], list[list[Job]]]:
+        """Generate the evaluation trace and training segments.
+
+        Every trace gets an independently spawned
+        :class:`~numpy.random.SeedSequence` child, so training segments
+        never share a stream with the evaluation trace (or each other),
+        even when built in parallel workers.
+        """
+        ss = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        eval_ss, *train_ss = ss.spawn(1 + self.n_train_segments)
+        class_configs = [(c.trace, c.weight) for c in self.classes]
+        crowds = [
+            (f.start_fraction, f.duration_fraction, f.rate_multiplier)
+            for f in self.flash_crowds
+        ]
+        eval_jobs = generate_mixture(
+            class_configs,
+            n_jobs=n_jobs,
+            horizon=self.horizon_for(n_jobs, num_servers),
+            seed=eval_ss,
+            flash_crowds=crowds,
+        )
+        train_jobs = max(int(n_jobs * self.train_fraction), 200)
+        train_horizon = self.horizon_for(train_jobs, num_servers)
+        train_traces = [
+            generate_mixture(
+                class_configs,
+                n_jobs=train_jobs,
+                horizon=train_horizon,
+                seed=child,
+                flash_crowds=crowds,
+            )
+            for child in train_ss
+        ]
+        return eval_jobs, train_traces
+
+
+@dataclass(frozen=True)
+class ServerClassSpec:
+    """A block of identical servers inside a fleet."""
+
+    name: str
+    count: int
+    power: PowerModel = field(default_factory=PowerModel)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("server class name must be non-empty")
+        if self.count < 1:
+            raise ValueError(f"count must be positive, got {self.count}")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Cluster composition: one or more server classes plus grouping."""
+
+    classes: tuple[ServerClassSpec, ...] = (ServerClassSpec("standard", 30),)
+    num_groups: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("need at least one server class")
+        if self.num_groups is not None and self.num_servers % self.num_groups != 0:
+            raise ValueError(
+                f"num_servers ({self.num_servers}) must be divisible by "
+                f"num_groups ({self.num_groups})"
+            )
+
+    @property
+    def num_servers(self) -> int:
+        return sum(c.count for c in self.classes)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return len(self.classes) > 1
+
+    def power_models(self) -> tuple[PowerModel, ...] | None:
+        """Per-server models for mixed fleets, None when homogeneous."""
+        if not self.is_heterogeneous:
+            return None
+        models: list[PowerModel] = []
+        for cls in self.classes:
+            models.extend([cls.power] * cls.count)
+        return tuple(models)
+
+    def groups(self) -> int:
+        return self.num_groups if self.num_groups is not None else groups_for(self.num_servers)
+
+
+@dataclass(frozen=True)
+class CapacityWindowSpec:
+    """A churn window (maintenance drain / failure) on a set of servers.
+
+    Times are fractions of the evaluation span so the same scenario
+    scales from smoke tests to full-size runs.
+    """
+
+    start_fraction: float
+    duration_fraction: float
+    servers: tuple[int, ...]
+    capacity_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_fraction < 1.0:
+            raise ValueError(f"start_fraction must be in [0, 1), got {self.start_fraction}")
+        if not 0.0 < self.duration_fraction <= 1.0:
+            raise ValueError(
+                f"duration_fraction must be in (0, 1], got {self.duration_fraction}"
+            )
+        if not self.servers:
+            raise ValueError("a capacity window must name at least one server")
+        if not 0.0 <= self.capacity_fraction < 1.0:
+            raise ValueError(
+                f"capacity_fraction must be in [0, 1), got {self.capacity_fraction}"
+            )
+
+    def to_events(self, horizon: float) -> tuple[CapacityEvent, ...]:
+        return tuple(
+            CapacityEvent(
+                time=self.start_fraction * horizon,
+                server_id=server,
+                duration=self.duration_fraction * horizon,
+                fraction=self.capacity_fraction,
+            )
+            for server in self.servers
+        )
+
+
+def rolling_maintenance(
+    num_servers: int,
+    group_size: int,
+    n_waves: int,
+    first_start: float = 0.1,
+    spacing: float = 0.15,
+    duration_fraction: float = 0.08,
+    capacity_fraction: float = 0.0,
+) -> tuple[CapacityWindowSpec, ...]:
+    """Staggered drain waves over consecutive server blocks.
+
+    Wave ``i`` drains servers ``[i * group_size, (i + 1) * group_size)``
+    (mod the fleet size) starting at ``first_start + i * spacing`` of
+    the span — the classic rolling-maintenance pattern.
+    """
+    if group_size < 1 or n_waves < 1:
+        raise ValueError("group_size and n_waves must be positive")
+    windows = []
+    for wave in range(n_waves):
+        start = first_start + wave * spacing
+        if start + duration_fraction > 1.0:
+            raise ValueError(
+                f"wave {wave} at start fraction {start} overruns the span; "
+                "reduce n_waves, spacing, or duration_fraction"
+            )
+        servers = tuple(
+            (wave * group_size + i) % num_servers for i in range(group_size)
+        )
+        windows.append(
+            CapacityWindowSpec(
+                start_fraction=start,
+                duration_fraction=duration_fraction,
+                servers=servers,
+                capacity_fraction=capacity_fraction,
+            )
+        )
+    return tuple(windows)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, fully parameterized experiment scenario."""
+
+    name: str
+    description: str
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    capacity_windows: tuple[CapacityWindowSpec, ...] = ()
+    overload_threshold: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        for window in self.capacity_windows:
+            bad = [s for s in window.servers if s >= self.fleet.num_servers]
+            if bad:
+                raise ValueError(
+                    f"scenario {self.name!r}: capacity window targets servers "
+                    f"{bad} outside the {self.fleet.num_servers}-server fleet"
+                )
+
+    def experiment_config(self, seed: int = 0) -> ExperimentConfig:
+        """The simulation/controller configuration this scenario implies."""
+        models = self.fleet.power_models()
+        return ExperimentConfig(
+            num_servers=self.fleet.num_servers,
+            power_model=self.fleet.classes[0].power,
+            power_models=models,
+            overload_threshold=self.overload_threshold,
+            global_tier=GlobalTierConfig(num_groups=self.fleet.groups()),
+            seed=seed,
+        )
+
+    def build_traces(
+        self, n_jobs: int, seed: int | np.random.SeedSequence
+    ) -> tuple[list[Job], list[list[Job]]]:
+        """Evaluation trace plus training segments for this scenario."""
+        return self.workload.build(n_jobs, self.fleet.num_servers, seed)
+
+    def capacity_events(self, horizon: float) -> tuple[CapacityEvent, ...]:
+        """Concrete churn schedule for a trace spanning ``horizon`` seconds."""
+        events: list[CapacityEvent] = []
+        for window in self.capacity_windows:
+            events.extend(window.to_events(horizon))
+        return tuple(events)
+
+    def horizon_for(self, n_jobs: int) -> float:
+        """Evaluation span (seconds) this scenario implies for ``n_jobs``."""
+        return self.workload.horizon_for(n_jobs, self.fleet.num_servers)
+
+    # ------------------------------------------------------------------
+    # Content identity (for the result cache)
+    # ------------------------------------------------------------------
+
+    def content_dict(self) -> dict:
+        """Plain-data view of every parameter that affects results.
+
+        Labels are cosmetic — scenarios that differ only in naming
+        simulate identically — so the scenario ``name``/``description``
+        and the job/server class names are excluded, keeping cached
+        results stable across renames.
+        """
+        payload = asdict(self)
+        payload.pop("name")
+        payload.pop("description")
+        for cls in payload["workload"]["classes"]:
+            cls.pop("name")
+        for cls in payload["fleet"]["classes"]:
+            cls.pop("name")
+        return payload
+
+    def content_key(self) -> str:
+        """Stable hex digest of the spec's behavioral parameters."""
+        return content_key(self.content_dict())[:16]

@@ -1,0 +1,95 @@
+"""Content-keyed JSON result store for experiment runs.
+
+A sweep cell is identified by the *content* of its request — the full
+scenario spec, system name, seed, job count, and protocol knobs — not by
+when or where it ran. The key is the SHA-256 of the request's canonical
+JSON, so any parameter change (even one float deep inside a power model)
+invalidates exactly the affected cells and nothing else.
+
+Records live under ``.repro-cache/<key[:2]>/<key>.json`` as
+``{"request": ..., "result": ...}``; writes are atomic
+(temp file + ``os.replace``) so parallel workers can share one store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+#: Bump when the result payload's semantics change; keyed into every
+#: request so stale cache entries are never silently reused.
+SCHEMA_VERSION = 1
+
+DEFAULT_ROOT = Path(".repro-cache")
+
+
+def canonical_json(payload: dict) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(request: dict) -> str:
+    """SHA-256 hex digest of a request's canonical JSON."""
+    return hashlib.sha256(canonical_json(request).encode()).hexdigest()
+
+
+class ResultStore:
+    """File-backed cache mapping request content keys to result records."""
+
+    def __init__(self, root: str | Path = DEFAULT_ROOT) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Load a cached record, or None on miss (or a corrupt entry)."""
+        path = self.path_for(key)
+        try:
+            with path.open() as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            # A write died mid-flight (pre-atomic-rename crash or manual
+            # tampering); treat as a miss and let the caller recompute.
+            return None
+
+    def put(self, key: str, request: dict, result: dict) -> Path:
+        """Atomically persist a record; returns its path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"schema": SCHEMA_VERSION, "request": request, "result": result}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(record, fh, sort_keys=True, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        for sub in self.root.iterdir():
+            if sub.is_dir() and not any(sub.iterdir()):
+                sub.rmdir()
+        return removed

@@ -12,6 +12,7 @@ Energy is integrated exactly: power is piecewise per Eqn. (3) between
 utilization change points, and every change point is an event.
 """
 
+from repro.sim.churn import CapacityEvent, schedule_capacity_events
 from repro.sim.cluster import Cluster
 from repro.sim.engine import ClusterEngine, SimulationResult, build_simulation
 from repro.sim.events import EventQueue, ScheduledEvent
@@ -22,6 +23,8 @@ from repro.sim.power import PowerModel
 from repro.sim.server import PowerState, Server
 
 __all__ = [
+    "CapacityEvent",
+    "schedule_capacity_events",
     "Cluster",
     "ClusterEngine",
     "SimulationResult",

@@ -19,14 +19,16 @@ from repro.sim.server import PowerState, Server
 
 
 class Cluster:
-    """A homogeneous server cluster.
+    """A server cluster, homogeneous or mixed-fleet.
 
     Parameters
     ----------
     num_servers:
         M, the number of physical machines.
     power_model:
-        Shared power characteristics (homogeneous cluster).
+        Power characteristics — a single :class:`PowerModel` shared by
+        every server (the paper's homogeneous cluster) or a sequence of
+        one model per server (heterogeneous fleet).
     events:
         The simulation event queue shared by all servers.
     policies:
@@ -44,7 +46,7 @@ class Cluster:
     def __init__(
         self,
         num_servers: int,
-        power_model: PowerModel,
+        power_model: PowerModel | Sequence[PowerModel],
         events: EventQueue,
         policies: Sequence[PowerPolicy] | PowerPolicy,
         num_resources: int = 3,
@@ -59,13 +61,23 @@ class Cluster:
             raise ValueError(
                 f"got {len(policies)} policies for {num_servers} servers"
             )
+        if isinstance(power_model, PowerModel):
+            power_models: Sequence[PowerModel] = [power_model] * num_servers
+        else:
+            power_models = list(power_model)
+            if len(power_models) != num_servers:
+                raise ValueError(
+                    f"got {len(power_models)} power models for {num_servers} servers"
+                )
         self.events = events
-        self.power_model = power_model
+        #: Reference model for cluster-level scales (first server's model).
+        self.power_model = power_models[0]
+        self.power_models = tuple(power_models)
         self.num_resources = int(num_resources)
         self.servers = [
             Server(
                 server_id=i,
-                power_model=power_model,
+                power_model=power_models[i],
                 events=events,
                 policy=policies[i],
                 num_resources=num_resources,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.sim.churn import CapacityEvent, schedule_capacity_events
 from repro.sim.cluster import Cluster
 from repro.sim.events import EventQueue
 from repro.sim.interfaces import Broker, PowerPolicy
@@ -157,14 +158,20 @@ def build_simulation(
     num_servers: int,
     broker: Broker,
     policies: Sequence[PowerPolicy] | PowerPolicy,
-    power_model: PowerModel | None = None,
+    power_model: PowerModel | Sequence[PowerModel] | None = None,
     num_resources: int = 3,
     overload_threshold: float = 0.9,
     initially_on: bool = False,
     record_every: int = 100,
     keep_jobs: bool = False,
+    capacity_events: Iterable[CapacityEvent] = (),
 ) -> ClusterEngine:
-    """Convenience constructor for the common engine wiring."""
+    """Convenience constructor for the common engine wiring.
+
+    ``power_model`` may be a per-server sequence (heterogeneous fleet);
+    ``capacity_events`` are pre-scheduled churn events (failures or
+    maintenance drains) that fire during the run.
+    """
     events = EventQueue()
     cluster = Cluster(
         num_servers=num_servers,
@@ -175,5 +182,6 @@ def build_simulation(
         overload_threshold=overload_threshold,
         initially_on=initially_on,
     )
+    schedule_capacity_events(cluster, capacity_events)
     metrics = MetricsCollector(record_every=record_every, keep_jobs=keep_jobs)
     return ClusterEngine(cluster, broker, metrics)

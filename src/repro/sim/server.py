@@ -155,6 +155,29 @@ class Server:
         """Free capacity per resource dimension."""
         return self.capacity - self.used
 
+    @property
+    def capacity_fraction(self) -> float:
+        """Current capacity scale in [0, 1] (1 = fully available)."""
+        return float(self.capacity[CPU])
+
+    def set_capacity(self, now: float, fraction: float) -> None:
+        """Scale available capacity (maintenance drain / failure / restore).
+
+        ``fraction`` is the usable share of every resource dimension:
+        0 models a failed or fully drained server, values in (0, 1) a
+        partial drain, and 1 restores full capacity. Running jobs are
+        never killed — a drain is graceful: ``used`` may exceed the new
+        capacity until jobs finish, and queued work waits (head-of-line)
+        until capacity returns. Restoring capacity starts any queued
+        jobs that now fit.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"capacity fraction must be in [0, 1], got {fraction}")
+        self.account(now)
+        self.capacity = np.full(self.num_resources, fraction)
+        if self.state is PowerState.ACTIVE:
+            self._try_start_jobs(now)
+
     def fits(self, job: Job) -> bool:
         """Whether ``job`` fits in the current free capacity."""
         demand = np.asarray(job.resources[: self.num_resources])

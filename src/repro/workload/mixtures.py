@@ -1,0 +1,158 @@
+"""Workload composition: multi-class mixes and flash-crowd injection.
+
+The paper evaluates one Google-like job stream. Real clusters serve
+*mixtures* — interactive front-end requests layered over long batch
+work — and suffer flash crowds whose arrival rate bears no relation to
+the diurnal baseline. These helpers compose such traces out of the
+single-class generator in :mod:`repro.workload.synthetic`:
+
+* :func:`merge_traces` — interleave independently generated job streams
+  into one arrival-ordered trace (multi-tenant mixes).
+* :func:`flash_crowd_jobs` — homogeneous-Poisson extra arrivals confined
+  to a window, with durations/resources drawn from a trace config's
+  marginal distributions (the "crowd" has the same per-job shape, just a
+  brutal rate).
+* :func:`generate_mixture` — weighted multi-class generation over a
+  shared horizon, with optional flash crowds, as one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.job import Job
+from repro.workload.synthetic import (
+    SyntheticTraceConfig,
+    _sample_durations,
+    _sample_resources,
+    generate_trace,
+)
+
+
+def merge_traces(*traces: Sequence[Job]) -> list[Job]:
+    """Merge job streams into one trace sorted by arrival and renumbered.
+
+    Jobs are copied (fresh :class:`Job` instances) so the inputs remain
+    reusable; ties are broken by input order, keeping merges
+    deterministic.
+    """
+    ordered = sorted(
+        (job for trace in traces for job in trace),
+        key=lambda j: j.arrival_time,
+    )
+    return [
+        Job(
+            job_id=i,
+            arrival_time=job.arrival_time,
+            duration=job.duration,
+            resources=job.resources,
+        )
+        for i, job in enumerate(ordered)
+    ]
+
+
+def flash_crowd_jobs(
+    config: SyntheticTraceConfig,
+    start: float,
+    duration: float,
+    rate_multiplier: float,
+    rng: np.random.Generator,
+) -> list[Job]:
+    """Extra arrivals modeling a flash crowd in ``[start, start + duration)``.
+
+    The crowd adds a homogeneous Poisson stream at
+    ``(rate_multiplier - 1) * config.base_rate`` on top of whatever the
+    base trace already emits, so the *total* rate inside the window is
+    roughly ``rate_multiplier`` times the mean. Durations and resources
+    follow the config's marginals. Job IDs start at 0; renumber via
+    :func:`merge_traces`.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if rate_multiplier <= 1.0:
+        raise ValueError(
+            f"rate_multiplier must exceed 1 (got {rate_multiplier}); "
+            "1 means no extra load"
+        )
+    extra_rate = (rate_multiplier - 1.0) * config.base_rate
+    n_extra = int(rng.poisson(extra_rate * duration))
+    if n_extra == 0:
+        return []
+    arrivals = np.sort(rng.uniform(start, start + duration, size=n_extra))
+    durations = _sample_durations(config, rng, n_extra)
+    resources = _sample_resources(config, rng, n_extra)
+    return [
+        Job(
+            job_id=i,
+            arrival_time=float(arrivals[i]),
+            duration=float(durations[i]),
+            resources=tuple(float(r) for r in resources[i]),
+        )
+        for i in range(n_extra)
+    ]
+
+
+def generate_mixture(
+    class_configs: Sequence[tuple[SyntheticTraceConfig, float]],
+    n_jobs: int,
+    horizon: float,
+    seed: int | np.random.SeedSequence = 0,
+    flash_crowds: Sequence[tuple[float, float, float]] = (),
+) -> list[Job]:
+    """Generate a weighted multi-class trace over one shared horizon.
+
+    Parameters
+    ----------
+    class_configs:
+        ``(config, weight)`` pairs; each class contributes
+        ``weight / sum(weights)`` of ``n_jobs``, generated with its own
+        arrival/duration/resource character (the config's ``n_jobs`` and
+        ``horizon`` are overridden).
+    n_jobs:
+        Total jobs across all classes (before flash-crowd extras).
+    horizon:
+        Shared trace span in seconds.
+    seed:
+        Seed or :class:`numpy.random.SeedSequence`; every class and
+        every crowd gets an independently spawned child stream, so
+        adding a class never perturbs the others.
+    flash_crowds:
+        ``(start_fraction, duration_fraction, rate_multiplier)`` triples
+        relative to ``horizon``; extras are drawn from the first class's
+        config (the dominant tenant).
+    """
+    if not class_configs:
+        raise ValueError("need at least one job class")
+    total_weight = sum(w for _, w in class_configs)
+    if total_weight <= 0:
+        raise ValueError("class weights must sum to a positive value")
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    children = ss.spawn(len(class_configs) + len(flash_crowds))
+
+    traces: list[list[Job]] = []
+    for (config, weight), child in zip(class_configs, children):
+        class_jobs = max(1, round(n_jobs * weight / total_weight))
+        class_config = replace(config, n_jobs=class_jobs, horizon=horizon)
+        traces.append(generate_trace(class_config, seed=np.random.default_rng(child)))
+
+    crowd_children = children[len(class_configs):]
+    base_config = replace(class_configs[0][0], n_jobs=n_jobs, horizon=horizon)
+    for (start_frac, dur_frac, mult), child in zip(flash_crowds, crowd_children):
+        if not 0.0 <= start_frac < 1.0 or not 0.0 < dur_frac <= 1.0:
+            raise ValueError(
+                "flash crowd window fractions must satisfy 0 <= start < 1 "
+                f"and 0 < duration <= 1, got ({start_frac}, {dur_frac})"
+            )
+        traces.append(
+            flash_crowd_jobs(
+                base_config,
+                start=start_frac * horizon,
+                duration=dur_frac * horizon,
+                rate_multiplier=mult,
+                rng=np.random.default_rng(child),
+            )
+        )
+    return merge_traces(*traces)

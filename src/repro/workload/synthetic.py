@@ -33,6 +33,23 @@ from repro.sim.job import Job
 _DAY_SECONDS = 86_400.0
 _WEEK_SECONDS = 7 * _DAY_SECONDS
 
+#: Cluster size the default intensity targets (the paper's M = 30; the
+#: same trace also drives M = 40, as in Table I).
+REFERENCE_SERVERS = 30
+
+
+def reference_rate(num_servers: int, rate_scale: float = 1.0) -> float:
+    """Offered arrival rate (jobs/s) appropriate for a fleet size.
+
+    The default config's intensity targets :data:`REFERENCE_SERVERS`
+    machines; larger clusters reuse it (the paper evaluates M = 30 and
+    40 on the same segments) while smaller test clusters get a
+    proportionally lighter rate so they are not pathologically
+    overloaded. ``rate_scale`` multiplies the result (load knob).
+    """
+    scale = min(num_servers, REFERENCE_SERVERS) / REFERENCE_SERVERS
+    return SyntheticTraceConfig().base_rate * scale * rate_scale
+
 
 @dataclass(frozen=True)
 class SyntheticTraceConfig:

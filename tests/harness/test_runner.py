@@ -130,3 +130,24 @@ class TestRunAndProtocol:
         result = run_system(system, jobs_burst(10), record_every=5)
         assert result.latency_series[-1][0] == 10
         assert result.energy_series[-1][0] == 10
+
+
+class TestScenarioConstruction:
+    def test_make_scenario_system_from_name(self):
+        from repro.harness.runner import make_scenario_system
+
+        system, eval_jobs, events = make_scenario_system(
+            "packing", "maintenance-churn", n_jobs=60, seed=1
+        )
+        assert system.name == "packing"
+        assert system.config.num_servers == 30
+        assert len(eval_jobs) == 60
+        assert events  # churn scenario schedules drains
+        result = run_system(system, eval_jobs, capacity_events=events)
+        assert result.n_jobs == 60
+
+    def test_descriptions_cover_system_names(self):
+        from repro.harness.runner import SYSTEM_DESCRIPTIONS
+
+        for name in SYSTEM_NAMES:
+            assert name in SYSTEM_DESCRIPTIONS

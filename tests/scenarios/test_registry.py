@@ -1,0 +1,67 @@
+"""Registry behavior and builtin-suite round trips."""
+
+import pytest
+
+from repro.harness.runner import run_system, make_system
+from repro.scenarios import registry
+from repro.scenarios.specs import ScenarioSpec
+
+
+class TestRegistry:
+    def test_at_least_six_builtins(self):
+        names = registry.names()
+        assert len(names) >= 6
+        for expected in (
+            "paper-default",
+            "diurnal-heavy",
+            "flash-crowd",
+            "hetero-fleet",
+            "maintenance-churn",
+            "tenant-mix",
+        ):
+            assert expected in names
+
+    def test_get_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="paper-default"):
+            registry.get("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        spec = ScenarioSpec(name="test-dup", description="")
+        registry.register(spec)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                registry.register(spec)
+            replacement = ScenarioSpec(name="test-dup", description="v2")
+            assert registry.register(replacement, overwrite=True) is replacement
+        finally:
+            registry._REGISTRY.pop("test-dup", None)
+
+    def test_catalog_mentions_every_scenario(self):
+        catalog = registry.scenario_catalog()
+        for name in registry.names():
+            assert name in catalog
+
+
+class TestBuiltinRoundTrip:
+    @pytest.mark.parametrize("name", [
+        "paper-default",
+        "diurnal-heavy",
+        "flash-crowd",
+        "hetero-fleet",
+        "maintenance-churn",
+        "tenant-mix",
+    ])
+    def test_builds_and_simulates(self, name):
+        """Every builtin produces a runnable config, traces, and churn plan."""
+        spec = registry.get(name)
+        config = spec.experiment_config(seed=0)
+        assert config.num_servers == spec.fleet.num_servers
+        eval_jobs, train = spec.build_traces(80, seed=0)
+        assert len(eval_jobs) >= 80  # flash crowds may add extras
+        assert train
+        system = make_system("round-robin", config)
+        events = spec.capacity_events(spec.horizon_for(80))
+        result = run_system(system, eval_jobs, record_every=50,
+                            capacity_events=events)
+        assert result.n_jobs == len(eval_jobs)
+        assert result.energy_kwh > 0

@@ -1,0 +1,155 @@
+"""ScenarioSpec / WorkloadSpec / FleetSpec construction and identity."""
+
+import pytest
+
+from repro.scenarios.specs import (
+    CapacityWindowSpec,
+    FleetSpec,
+    FlashCrowdSpec,
+    JobClassSpec,
+    ScenarioSpec,
+    ServerClassSpec,
+    WorkloadSpec,
+    groups_for,
+    rolling_maintenance,
+)
+from repro.sim.power import PowerModel
+
+
+class TestValidation:
+    def test_scenario_needs_name(self):
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec(name="", description="x")
+
+    def test_capacity_window_servers_must_exist(self):
+        window = CapacityWindowSpec(0.1, 0.1, servers=(99,))
+        with pytest.raises(ValueError, match="outside"):
+            ScenarioSpec(name="s", description="", capacity_windows=(window,))
+
+    def test_flash_crowd_bounds(self):
+        with pytest.raises(ValueError):
+            FlashCrowdSpec(1.0, 0.1, 2.0)
+        with pytest.raises(ValueError):
+            FlashCrowdSpec(0.1, 0.0, 2.0)
+        with pytest.raises(ValueError):
+            FlashCrowdSpec(0.1, 0.1, 1.0)
+
+    def test_fleet_group_divisibility(self):
+        with pytest.raises(ValueError, match="divisible"):
+            FleetSpec(classes=(ServerClassSpec("a", 10),), num_groups=3)
+
+    def test_rolling_maintenance_overrun_rejected(self):
+        with pytest.raises(ValueError, match="overruns"):
+            rolling_maintenance(30, 3, n_waves=10, spacing=0.15)
+
+
+class TestFleetSpec:
+    def test_homogeneous_has_no_model_list(self):
+        fleet = FleetSpec()
+        assert fleet.num_servers == 30
+        assert fleet.power_models() is None
+        assert not fleet.is_heterogeneous
+
+    def test_heterogeneous_expansion(self):
+        a, b = PowerModel(idle_power=50, peak_power=100), PowerModel()
+        fleet = FleetSpec(
+            classes=(ServerClassSpec("new", 2, a), ServerClassSpec("old", 3, b))
+        )
+        models = fleet.power_models()
+        assert models == (a, a, b, b, b)
+        assert fleet.num_servers == 5
+
+    def test_groups_default(self):
+        assert groups_for(30) == 3
+        assert groups_for(40) == 4
+        assert groups_for(7) == 1
+        assert FleetSpec(classes=(ServerClassSpec("s", 8),)).groups() == 4
+
+
+class TestExperimentConfig:
+    def test_heterogeneous_config_round_trip(self):
+        spec = ScenarioSpec(
+            name="s",
+            description="",
+            fleet=FleetSpec(
+                classes=(
+                    ServerClassSpec("new", 2, PowerModel(idle_power=50, peak_power=100)),
+                    ServerClassSpec("old", 2, PowerModel()),
+                )
+            ),
+        )
+        config = spec.experiment_config(seed=5)
+        assert config.num_servers == 4
+        assert config.power_models is not None
+        assert len(config.power_models) == 4
+        assert config.seed == 5
+        assert config.fleet_power_models == config.power_models
+
+    def test_homogeneous_uses_shared_model(self):
+        config = ScenarioSpec(name="s", description="").experiment_config()
+        assert config.power_models is None
+        assert config.fleet_power_models is config.power_model
+
+
+class TestTraces:
+    def test_build_traces_deterministic(self):
+        spec = ScenarioSpec(name="s", description="")
+        a_eval, a_train = spec.build_traces(60, seed=4)
+        b_eval, b_train = spec.build_traces(60, seed=4)
+        assert a_eval == b_eval
+        assert a_train == b_train
+
+    def test_eval_and_train_streams_differ(self):
+        spec = ScenarioSpec(name="s", description="")
+        eval_jobs, train = spec.build_traces(250, seed=0)
+        assert len(eval_jobs) == 250
+        assert len(train) == 2
+        assert train[0] != train[1]
+        assert [j.duration for j in train[0][:20]] != [j.duration for j in eval_jobs[:20]]
+
+    def test_capacity_events_scale_with_horizon(self):
+        window = CapacityWindowSpec(0.5, 0.1, servers=(0, 1))
+        spec = ScenarioSpec(name="s", description="", capacity_windows=(window,))
+        events = spec.capacity_events(1000.0)
+        assert len(events) == 2
+        assert all(e.time == pytest.approx(500.0) for e in events)
+        assert all(e.duration == pytest.approx(100.0) for e in events)
+
+
+class TestContentKey:
+    def test_stable_and_parameter_sensitive(self):
+        a = ScenarioSpec(name="s", description="d")
+        b = ScenarioSpec(name="s", description="d")
+        assert a.content_key() == b.content_key()
+        # Renames and re-wordings are cosmetic: cached results survive.
+        renamed = ScenarioSpec(name="other", description="reworded")
+        assert renamed.content_key() == a.content_key()
+        # So are job/server class labels.
+        relabeled = ScenarioSpec(
+            name="s",
+            description="d",
+            workload=WorkloadSpec(classes=(JobClassSpec("renamed-class", 1.0),)),
+        )
+        assert relabeled.content_key() == a.content_key()
+        # A single deep parameter change flips the key.
+        c = ScenarioSpec(
+            name="s",
+            description="d",
+            workload=WorkloadSpec(
+                classes=(JobClassSpec("default", 1.0),), rate_scale=1.0001
+            ),
+        )
+        assert c.content_key() != a.content_key()
+
+    def test_content_dict_is_json_plain(self):
+        import json
+
+        spec = ScenarioSpec(
+            name="s",
+            description="d",
+            fleet=FleetSpec(
+                classes=(ServerClassSpec("x", 2, PowerModel(idle_power=50, peak_power=99)),)
+            ),
+            capacity_windows=(CapacityWindowSpec(0.1, 0.1, servers=(0,)),),
+        )
+        json.dumps(spec.content_dict())  # must not raise

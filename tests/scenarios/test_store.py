@@ -1,0 +1,60 @@
+"""Content-keyed result store semantics."""
+
+import json
+
+from repro.scenarios.store import ResultStore, canonical_json, content_key
+
+
+class TestContentKey:
+    def test_stable_across_key_order(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert content_key({"a": 1}) != content_key({"a": 2})
+
+    def test_canonical_json_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        request = {"scenario": "x", "seed": 0}
+        key = content_key(request)
+        assert store.get(key) is None
+        store.put(key, request, {"energy_kwh": 1.5})
+        record = store.get(key)
+        assert record["result"] == {"energy_kwh": 1.5}
+        assert record["request"] == request
+        assert len(store) == 1
+
+    def test_changed_request_misses(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(content_key({"seed": 0}), {"seed": 0}, {"v": 1})
+        assert store.get(content_key({"seed": 1})) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        key = content_key({"seed": 0})
+        store.put(key, {"seed": 0}, {"v": 1})
+        store.path_for(key).write_text("{not json")
+        assert store.get(key) is None
+
+    def test_overwrite_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        key = content_key({"seed": 0})
+        store.put(key, {"seed": 0}, {"v": 1})
+        store.put(key, {"seed": 0}, {"v": 2})
+        assert store.get(key)["result"] == {"v": 2}
+        assert len(store) == 1
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.get(key) is None
+
+    def test_records_are_valid_json_files(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        key = content_key({"seed": 3})
+        path = store.put(key, {"seed": 3}, {"v": 1})
+        with path.open() as fh:
+            record = json.load(fh)
+        assert record["schema"] >= 1

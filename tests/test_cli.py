@@ -27,6 +27,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig11"])
 
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        from repro import __version__
+
+        assert __version__ in capsys.readouterr().out
+
+    def test_scenario_subcommands_parse(self):
+        args = build_parser().parse_args(["scenario", "list"])
+        assert (args.command, args.action) == ("scenario", "list")
+        args = build_parser().parse_args(
+            ["scenario", "run", "--name", "paper-default", "--jobs", "50"]
+        )
+        assert (args.action, args.name, args.jobs) == ("run", "paper-default", 50)
+        args = build_parser().parse_args(
+            ["scenario", "sweep", "--systems", "packing", "--workers", "2", "--force"]
+        )
+        assert (args.action, args.systems, args.workers, args.force) == (
+            "sweep", "packing", 2, True,
+        )
+
+    def test_scenario_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
 
 class TestExecution:
     def test_workload_prints_characterization(self, capsys, tmp_path):
@@ -39,6 +65,47 @@ class TestExecution:
         from repro.workload.trace import read_trace_csv
 
         assert len(read_trace_csv(out)) == 200
+
+    def test_systems_lists_every_named_system(self, capsys):
+        rc = main(["systems"])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        from repro.harness.runner import SYSTEM_NAMES
+
+        for name in SYSTEM_NAMES:
+            assert name in captured
+
+    def test_scenario_list_shows_six(self, capsys):
+        rc = main(["scenario", "list"])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        from repro.scenarios import registry
+
+        assert len(registry.names()) >= 6
+        for name in registry.names():
+            assert name in captured
+
+    def test_scenario_run_tiny(self, capsys):
+        rc = main(["scenario", "run", "--name", "paper-default",
+                   "--system", "packing", "--jobs", "60"])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "paper-default" in captured
+        assert "energy" in captured
+
+    @pytest.mark.slow
+    def test_scenario_sweep_with_cache(self, capsys, tmp_path):
+        argv = ["scenario", "sweep", "--scenarios", "paper-default",
+                "--systems", "round-robin,packing", "--jobs", "60",
+                "--workers", "2", "--cache-dir", str(tmp_path / "cache")]
+        rc = main(argv)
+        assert rc == 0
+        first = capsys.readouterr().out
+        assert "2 computed" in first
+        rc = main(argv)
+        assert rc == 0
+        second = capsys.readouterr().out
+        assert "2 cached, 0 computed" in second
 
     @pytest.mark.slow
     def test_table1_tiny_run(self, capsys):

@@ -1,0 +1,83 @@
+"""Multi-class mixes and flash-crowd injection."""
+
+import numpy as np
+import pytest
+
+from repro.workload.mixtures import flash_crowd_jobs, generate_mixture, merge_traces
+from repro.workload.synthetic import SyntheticTraceConfig, generate_trace
+
+
+class TestMergeTraces:
+    def test_sorted_and_renumbered(self):
+        a = generate_trace(SyntheticTraceConfig(n_jobs=20, horizon=1000.0), seed=0)
+        b = generate_trace(SyntheticTraceConfig(n_jobs=30, horizon=1000.0), seed=1)
+        merged = merge_traces(a, b)
+        assert len(merged) == 50
+        assert [j.job_id for j in merged] == list(range(50))
+        arrivals = [j.arrival_time for j in merged]
+        assert arrivals == sorted(arrivals)
+
+    def test_inputs_untouched(self):
+        a = generate_trace(SyntheticTraceConfig(n_jobs=5, horizon=100.0), seed=0)
+        ids = [j.job_id for j in a]
+        merge_traces(a, a)
+        assert [j.job_id for j in a] == ids
+
+
+class TestFlashCrowd:
+    def test_confined_to_window(self):
+        config = SyntheticTraceConfig(n_jobs=1000, horizon=10_000.0)
+        rng = np.random.default_rng(0)
+        extra = flash_crowd_jobs(config, start=2000.0, duration=500.0,
+                                 rate_multiplier=5.0, rng=rng)
+        assert extra, "a 5x crowd over 500 s at 0.1 jobs/s must emit jobs"
+        assert all(2000.0 <= j.arrival_time < 2500.0 for j in extra)
+        # ~ (5-1) * 0.1 jobs/s * 500 s = 200 expected
+        assert 120 < len(extra) < 300
+
+    def test_rejects_non_amplifying_multiplier(self):
+        config = SyntheticTraceConfig(n_jobs=10, horizon=100.0)
+        with pytest.raises(ValueError, match="rate_multiplier"):
+            flash_crowd_jobs(config, 0.0, 10.0, 1.0, np.random.default_rng(0))
+
+
+class TestGenerateMixture:
+    def test_weighted_class_counts(self):
+        light = SyntheticTraceConfig(duration_median=100.0)
+        heavy = SyntheticTraceConfig(duration_median=2000.0)
+        jobs = generate_mixture(
+            [(light, 0.75), (heavy, 0.25)], n_jobs=200, horizon=2000.0, seed=3
+        )
+        assert len(jobs) == 200
+        arrivals = [j.arrival_time for j in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_deterministic_per_seed(self):
+        config = SyntheticTraceConfig()
+        kwargs = dict(n_jobs=50, horizon=500.0,
+                      flash_crowds=[(0.1, 0.2, 3.0)])
+        a = generate_mixture([(config, 1.0)], seed=9, **kwargs)
+        b = generate_mixture([(config, 1.0)], seed=9, **kwargs)
+        c = generate_mixture([(config, 1.0)], seed=10, **kwargs)
+        assert a == b
+        assert a != c
+
+    def test_adding_a_class_keeps_first_class_stream(self):
+        """Child seed spawning isolates classes from one another."""
+        base = SyntheticTraceConfig(duration_median=100.0)
+        solo = generate_mixture([(base, 1.0)], n_jobs=40, horizon=400.0, seed=5)
+        duo = generate_mixture(
+            [(base, 1.0), (SyntheticTraceConfig(duration_median=900.0), 1.0)],
+            n_jobs=80,
+            horizon=400.0,
+            seed=5,
+        )
+        solo_durations = sorted(j.duration for j in solo)
+        duo_durations = sorted(j.duration for j in duo)
+        # Every job of the solo run reappears untouched in the duo run.
+        for d in solo_durations:
+            assert any(abs(d - x) < 1e-12 for x in duo_durations)
+
+    def test_needs_a_class(self):
+        with pytest.raises(ValueError, match="job class"):
+            generate_mixture([], n_jobs=10, horizon=100.0)
