@@ -21,7 +21,8 @@ import pytest
 from benchmarks.conftest import save_artifact
 from repro.harness.report import format_table
 from repro.scenarios import registry
-from repro.scenarios.orchestrator import run_cell, sweep
+from repro.scenarios.orchestrator import detected_cpus, run_cell, sweep
+from repro.scenarios.sharding import run_cell_sharded
 from repro.scenarios.store import ResultStore
 
 SCENARIO_JOBS = int(os.environ.get("REPRO_BENCH_SCENARIO_JOBS", "200"))
@@ -79,11 +80,68 @@ def test_bench_parallel_speedup(out_dir, sweep_kwargs):
             f"grid cells: {cells} ({len(registry.names())} scenarios x "
             f"{len(BENCH_SYSTEMS)} systems), {SCENARIO_JOBS} jobs/cell",
             f"serial:   {t_serial:.2f} s ({t_serial / cells:.2f} s/cell)",
-            f"parallel: {t_parallel:.2f} s on {os.cpu_count()} cores",
+            f"parallel: {t_parallel:.2f} s with "
+            f"{detected_cpus()} CPUs detected for this process",
             f"speedup:  {speedup:.2f}x",
         ]
     )
     save_artifact(out_dir, "bench_scenario_sweep.txt", text)
+
+
+def test_bench_sharded_cell(out_dir, bench_seed):
+    """One large cell, unsharded vs trace-sharded over the worker pool.
+
+    With >= 2 usable CPUs the sharded run must beat the unsharded run on
+    wall clock (the whole point of sharding a single cell); on one CPU
+    the timing line is still recorded but the speedup is not asserted.
+    The cell is sized (default 12000 jobs, ~1.5 s unsharded) so the pool
+    spin-up cost cannot mask the win, and a losing first measurement is
+    re-timed once before judging (shared runners are noisy).
+    """
+    n_jobs = int(os.environ.get("REPRO_BENCH_SHARD_JOBS", "12000"))
+    shards = 4
+
+    def time_unsharded():
+        t0 = time.perf_counter()
+        result = run_cell(
+            "paper-default", "round-robin", n_jobs=n_jobs, seed=bench_seed
+        )
+        return time.perf_counter() - t0, result
+
+    def time_sharded():
+        t0 = time.perf_counter()
+        result = run_cell_sharded(
+            "paper-default", "round-robin", n_jobs=n_jobs, seed=bench_seed,
+            shards=shards,
+        )
+        return time.perf_counter() - t0, result
+
+    t_unsharded, unsharded = time_unsharded()
+    t_sharded, sharded = time_sharded()
+    cpus = detected_cpus()
+    if cpus >= 2 and sharded["workers_used"] >= 2 and t_sharded >= t_unsharded:
+        t_unsharded = min(t_unsharded, time_unsharded()[0])
+        t_sharded = min(t_sharded, time_sharded()[0])
+
+    assert sharded["n_jobs_completed"] == unsharded["n_jobs_completed"]
+    speedup = t_unsharded / t_sharded if t_sharded > 0 else float("inf")
+    text = "\n".join(
+        [
+            f"cell: paper-default x round-robin, {n_jobs} jobs, "
+            f"{shards} shards, {cpus} CPUs detected",
+            f"unsharded: {t_unsharded:.2f} s",
+            f"sharded:   {t_sharded:.2f} s ({sharded['workers_used']} workers)",
+            f"speedup:   {speedup:.2f}x",
+            f"power delta: "
+            f"{abs(sharded['average_power_w'] - unsharded['average_power_w']) / unsharded['average_power_w']:.1%}",
+        ]
+    )
+    save_artifact(out_dir, "bench_sharded_cell.txt", text)
+    if cpus >= 2 and sharded["workers_used"] >= 2:
+        assert t_sharded < t_unsharded, (
+            f"sharded cell ({t_sharded:.2f} s) must beat unsharded "
+            f"({t_unsharded:.2f} s) with {sharded['workers_used']} workers"
+        )
 
 
 def test_bench_cached_rerun(out_dir, sweep_kwargs, tmp_path):

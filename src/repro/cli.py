@@ -10,6 +10,7 @@ Usage::
     python -m repro systems
     python -m repro scenario list
     python -m repro scenario run   --name NAME [--system SYS] [--jobs N]
+                                   [--shards S] [--workers W]
     python -m repro scenario sweep [--scenarios a,b] [--systems x,y]
                                    [--seeds 0,1] [--jobs N] [--workers W]
 
@@ -126,13 +127,34 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return 0
 
     if args.action == "run":
+        spec = registry.get(args.name)
+        if args.shards > 1:
+            from repro.scenarios.sharding import run_cell_sharded
+
+            cell = run_cell_sharded(
+                spec, args.system, n_jobs=args.jobs, seed=args.seed,
+                shards=args.shards, workers=args.workers,
+            )
+            lines = [
+                f"scenario: {spec.name} ({spec.description})",
+                f"system: {args.system}  servers: {cell['num_servers']}  "
+                f"jobs: {cell['n_jobs_completed']}  "
+                f"shards: {cell['shards']} on {cell['workers_used']} workers  "
+                f"churn events: {cell['capacity_events']}",
+                f"energy: {cell['energy_kwh']:.2f} kWh  "
+                f"latency: {cell['acc_latency_s'] / 1e6:.3f}e6 s  "
+                f"mean latency: {cell['mean_latency_s']:.1f} s  "
+                f"power: {cell['average_power_w']:.2f} W",
+            ]
+            _emit("\n".join(lines), args.out)
+            return 0
+
         from repro.harness.runner import make_scenario_system, run_system
 
         system, eval_jobs, events = make_scenario_system(
             args.system, args.name, n_jobs=args.jobs, seed=args.seed
         )
         result = run_system(system, eval_jobs, capacity_events=events)
-        spec = registry.get(args.name)
         lines = [
             f"scenario: {spec.name} ({spec.description})",
             f"system: {args.system}  servers: {result.num_servers}  "
@@ -146,7 +168,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return 0
 
     # action == "sweep"
-    from repro.scenarios.orchestrator import sweep
+    from repro.scenarios.orchestrator import detected_cpus, sweep
     from repro.scenarios.store import ResultStore
 
     report = sweep(
@@ -165,6 +187,16 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         f"{report.n_computed} computed"
     )
     _emit(text, args.out)
+    # Stdout-only (kept out of --out artifacts so sweep outputs stay
+    # byte-identical across worker counts): the parallelism actually used
+    # — the pool is capped at the number of cells that needed computing.
+    cpus = detected_cpus()
+    limit = args.workers if args.workers is not None else cpus
+    if report.n_computed:
+        pool = max(1, min(limit, report.n_computed))
+        print(f"# {cpus} CPUs detected for this process; pool size {pool}")
+    else:
+        print(f"# {cpus} CPUs detected for this process; all cells cached, no pool")
     return 0
 
 
@@ -204,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
     sc_run.add_argument("--name", required=True, help="scenario name")
     sc_run.add_argument("--system", default="round-robin",
                         help="named system (default round-robin)")
+    sc_run.add_argument("--shards", type=int, default=1,
+                        help="split the evaluation trace into this many "
+                             "warm-handoff segments run in parallel "
+                             "(default 1 = unsharded)")
+    sc_run.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for sharded runs "
+                             "(default: detected CPU count)")
     _add_common(sc_run, default_jobs=600)
 
     sc_sweep = sc_sub.add_parser(

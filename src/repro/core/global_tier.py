@@ -165,12 +165,9 @@ class DRLGlobalBroker(Broker):
         ValueError
             If the replay memory is empty.
         """
-        batch = self.replay.sample(batch_size or self.config.batch_size, self.rng)
-        states = np.stack([tr.state for tr in batch])
-        actions = np.array([tr.action for tr in batch], dtype=np.int64)
-        rewards = np.array([tr.reward for tr in batch])
-        taus = np.array([tr.tau for tr in batch])
-        next_states = np.stack([tr.next_state for tr in batch])
+        states, actions, rewards, next_states, taus = self.replay.sample_arrays(
+            batch_size or self.config.batch_size, self.rng
+        )
         next_max = self.qnet.predict(next_states).max(axis=1)
         targets = rewards + np.exp(-self.config.beta * taus) * next_max
         loss = self.qnet.train_step(

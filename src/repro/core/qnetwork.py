@@ -153,6 +153,7 @@ class HierarchicalQNetwork(Module):
         )
         self.code_dim = self.autoencoder.code_dim
         subq_in = self.group_dim + (self.num_groups - 1) * self.code_dim + self.job_dim
+        self.subq_in = subq_in
         self.subq = MLP(
             [subq_in, *subq_hidden, self.group_size],
             hidden_activation="elu",
@@ -160,6 +161,11 @@ class HierarchicalQNetwork(Module):
             rng=rng,
             name="subq",
         )
+        # Row k lists the *other* groups in k's cyclic order; used to gather
+        # all K Sub-Q inputs in one vectorized assembly.
+        self._other_index = np.array(
+            [self._other_groups(k) for k in range(self.num_groups)], dtype=np.intp
+        ).reshape(self.num_groups, self.num_groups - 1)
 
     # ------------------------------------------------------------------
     # Input assembly
@@ -195,12 +201,55 @@ class HierarchicalQNetwork(Module):
         codes = self.autoencoder.encode(flat)
         return codes.reshape(self.num_groups, batch, self.code_dim)
 
+    def _assemble_all(
+        self, groups: np.ndarray, codes: np.ndarray, jobs: np.ndarray
+    ) -> np.ndarray:
+        """All K Sub-Q input blocks at once: shape ``(K, batch, subq_in)``.
+
+        Row ``(k, i)`` holds exactly the vector :meth:`_assemble` builds
+        for group ``k`` and sample ``i`` — the loop's concatenation is
+        replaced by slice assignment into one preallocated array.
+        """
+        k, batch = self.num_groups, jobs.shape[0]
+        out = np.empty((k, batch, self.subq_in))
+        out[:, :, : self.group_dim] = groups
+        if k > 1:
+            others = codes[self._other_index]  # (K, K-1, batch, code_dim)
+            out[:, :, self.group_dim : self.group_dim + (k - 1) * self.code_dim] = (
+                others.transpose(0, 2, 1, 3).reshape(k, batch, -1)
+            )
+        out[:, :, self.subq_in - self.job_dim :] = jobs
+        return out
+
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
 
     def predict(self, states: np.ndarray) -> np.ndarray:
-        """Q-value estimates for all M actions; shape ``(batch, M)``."""
+        """Q-value estimates for all M actions; shape ``(batch, M)``.
+
+        Weight sharing is exploited literally: the K Sub-Q inputs are
+        stacked into one ``(K, batch, subq_in)`` tensor and pushed through
+        the shared network in a *single* forward call. NumPy's stacked
+        matmul issues one identically-shaped GEMM per group, so every
+        group's Q block is bit-identical to :meth:`predict_loop` (a
+        flattened ``(K*batch, subq_in)`` GEMM would not be: BLAS picks
+        different kernels for different row counts, perturbing final ulps
+        — see the equivalence tests).
+        """
+        groups, jobs = self.encoder.split(states)
+        codes = self._encode_all(groups)
+        x = self._assemble_all(groups, codes, jobs)
+        q = self.subq.predict(x)  # (K, batch, group_size)
+        return q.transpose(1, 0, 2).reshape(jobs.shape[0], self.num_actions)
+
+    def predict_loop(self, states: np.ndarray) -> np.ndarray:
+        """Reference per-group loop (the pre-vectorization path).
+
+        Kept as the ground truth the batched :meth:`predict` must match
+        bit for bit, and as the baseline the hot-path microbenchmark
+        measures its speedup against.
+        """
         groups, jobs = self.encoder.split(states)
         codes = self._encode_all(groups)
         batch = jobs.shape[0]
@@ -222,6 +271,32 @@ class HierarchicalQNetwork(Module):
         """Adam over the shared parameters (each shared tensor once)."""
         return Adam(self.parameters(), lr=lr)
 
+    def _check_batch(
+        self, states: np.ndarray, actions: np.ndarray, targets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        actions = np.asarray(actions, dtype=np.int64).reshape(-1)
+        targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+        n = states.shape[0]
+        if actions.shape[0] != n or targets.shape[0] != n:
+            raise ValueError(
+                f"batch size mismatch: {n} states, {actions.shape[0]} actions, "
+                f"{targets.shape[0]} targets"
+            )
+        return states, actions, targets
+
+    @staticmethod
+    def _loss_and_derr(
+        err: np.ndarray, huber_delta: float | None
+    ) -> tuple[float, np.ndarray]:
+        """Per-group chosen-action loss sum and its derivative."""
+        if huber_delta is None:
+            return float(np.sum(err**2)), 2.0 * err
+        abs_err = np.abs(err)
+        quad = np.minimum(abs_err, huber_delta)
+        loss = float(np.sum(0.5 * quad**2 + huber_delta * (abs_err - quad)))
+        return loss, np.clip(err, -huber_delta, huber_delta)
+
     def train_step(
         self,
         states: np.ndarray,
@@ -238,16 +313,79 @@ class HierarchicalQNetwork(Module):
         gradients flow into the shared Sub-Q directly and into the shared
         autoencoder through the code inputs of the non-target groups.
         Returns the minibatch loss.
+
+        This is the batched fast path: the shared encoder runs one
+        stacked ``(K, batch, group_dim)`` forward and one stacked
+        backward (instead of K of each), and the Sub-Q inputs for every
+        group come from a single vectorized assembly. The Sub-Q GEMMs
+        themselves stay per-group because each group sees a different
+        subset of samples — keeping their shapes identical to
+        :meth:`train_step_loop` is what makes the two paths bit-identical
+        (the code-gradient scatter back to the per-group accumulators is
+        an exact element-wise operation either way).
         """
-        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
-        actions = np.asarray(actions, dtype=np.int64).reshape(-1)
-        targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+        states, actions, targets = self._check_batch(states, actions, targets)
         n = states.shape[0]
-        if actions.shape[0] != n or targets.shape[0] != n:
-            raise ValueError(
-                f"batch size mismatch: {n} states, {actions.shape[0]} actions, "
-                f"{targets.shape[0]} targets"
-            )
+        groups, jobs = self.encoder.split(states)
+
+        # One stacked forward through the shared encoder; slice [k] of the
+        # caches is exactly the cache a per-group forward would produce.
+        codes, enc_caches = self.autoencoder.encode_with_cache(groups)
+        x_all = self._assemble_all(groups, codes, jobs)
+
+        self.zero_grad()
+        total_loss = 0.0
+        # dL/dcode accumulators, one plane per group (codes feed K-1
+        # Sub-Q passes); filled by exact scatter, so a single stacked
+        # encoder backward below replaces the per-group loop.
+        dcodes = np.zeros_like(codes)
+        group_ids = actions // self.group_size
+
+        for k in range(self.num_groups):
+            sample_idx = np.flatnonzero(group_ids == k)
+            if sample_idx.size == 0:
+                continue
+            x_k = x_all[k][sample_idx]
+            q_k, caches = self.subq.forward(x_k)
+            local = actions[sample_idx] - k * self.group_size
+            rows = np.arange(sample_idx.size)
+            err = q_k[rows, local] - targets[sample_idx]
+            group_loss, derr = self._loss_and_derr(err, huber_delta)
+            total_loss += group_loss
+            dq = np.zeros_like(q_k)
+            dq[rows, local] = derr / n
+            dx = self.subq.backward(dq, caches)
+            # Split dx back into [raw g_k | other codes | job] and route the
+            # code gradients to their producing encoder rows.
+            offset = self.group_dim
+            for other in self._other_index[k]:
+                dcodes[other][sample_idx] += dx[:, offset : offset + self.code_dim]
+                offset += self.code_dim
+
+        if self.num_groups > 1:
+            self.autoencoder.encoder_backward(dcodes, enc_caches)
+
+        if max_grad_norm is not None:
+            clip_grad_norm(self.parameters(), max_grad_norm)
+        optimizer.step()
+        return total_loss / n
+
+    def train_step_loop(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        targets: np.ndarray,
+        optimizer: Adam,
+        max_grad_norm: float | None = 10.0,
+        huber_delta: float | None = None,
+    ) -> float:
+        """Reference per-group training loop (the pre-vectorization path).
+
+        Semantically and bit-wise equal to :meth:`train_step`; kept as
+        the equivalence-test ground truth and microbenchmark baseline.
+        """
+        states, actions, targets = self._check_batch(states, actions, targets)
+        n = states.shape[0]
         groups, jobs = self.encoder.split(states)
 
         # Forward the shared encoder once per group, keeping caches so the
@@ -276,16 +414,8 @@ class HierarchicalQNetwork(Module):
             local = actions[sample_idx] - group_lo
             rows = np.arange(sample_idx.size)
             err = q_k[rows, local] - targets[sample_idx]
-            if huber_delta is None:
-                total_loss += float(np.sum(err**2))
-                derr = 2.0 * err
-            else:
-                abs_err = np.abs(err)
-                quad = np.minimum(abs_err, huber_delta)
-                total_loss += float(
-                    np.sum(0.5 * quad**2 + huber_delta * (abs_err - quad))
-                )
-                derr = np.clip(err, -huber_delta, huber_delta)
+            group_loss, derr = self._loss_and_derr(err, huber_delta)
+            total_loss += group_loss
             dq = np.zeros_like(q_k)
             dq[rows, local] = derr / n
             dx = self.subq.backward(dq, caches)

@@ -87,6 +87,12 @@ class StateEncoder:
     def encode(self, cluster: Cluster, job: Job) -> np.ndarray:
         """Build the state vector at ``job``'s arrival epoch.
 
+        Fast path: the cluster maintains its utilization / power-state /
+        queue arrays incrementally (see
+        :class:`~repro.sim.ledger.ClusterLedger`), so encoding is slice
+        assignment into one preallocated vector — no per-server object
+        traversal at the decision epoch.
+
         Raises
         ------
         ValueError
@@ -96,16 +102,26 @@ class StateEncoder:
             raise ValueError(
                 f"cluster has {len(cluster)} servers, encoder expects {self.num_servers}"
             )
-        util = cluster.utilization_matrix()[:, : self.num_resources]
-        blocks = [util]
+        util, power_on, queue = cluster.state_views()
+        out = np.empty(self.state_dim)
+        server_block = out[: self.num_servers * self.per_server_dim].reshape(
+            self.num_servers, self.per_server_dim
+        )
+        server_block[:, : self.num_resources] = util[:, : self.num_resources]
+        col = self.num_resources
         if self.include_power_state:
-            blocks.append(cluster.power_state_vector()[:, None])
+            server_block[:, col] = power_on
+            col += 1
         if self.include_queue_state:
-            queue = np.minimum(cluster.queue_vector() / self.queue_scale, 1.0)
-            blocks.append(queue[:, None])
-        server_block = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=1)
-        job_block = self.encode_job(job)
-        return np.concatenate([server_block.reshape(-1), job_block])
+            np.minimum(queue / self.queue_scale, 1.0, out=server_block[:, col])
+        # Job block, written in place (same values as encode_job).
+        job_off = self.num_servers * self.per_server_dim
+        demands = out[job_off : job_off + self.num_resources]
+        demands[:] = 0.0
+        take = min(len(job.resources), self.num_resources)
+        demands[:take] = job.resources[:take]
+        out[-1] = min(job.duration / self.max_duration, 1.0)
+        return out
 
     def encode_job(self, job: Job) -> np.ndarray:
         """The ``s_j`` block: demands plus normalized duration."""

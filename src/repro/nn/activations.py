@@ -67,7 +67,15 @@ class ELU(Activation):
         self.alpha = float(alpha)
 
     def forward(self, z: np.ndarray) -> np.ndarray:
-        return np.where(z > 0.0, z, self.alpha * np.expm1(np.minimum(z, 0.0)))
+        # Branch-free split: expm1(min(z,0)) is exactly 0 for z >= 0 and
+        # max(z,0) exactly 0 for z <= 0, so the sum equals the classic
+        # where() formulation bit for bit (modulo the sign of zero) with
+        # one fewer ufunc pass on the alpha == 1 hot path.
+        neg = np.expm1(np.minimum(z, 0.0))
+        if self.alpha != 1.0:
+            neg *= self.alpha
+        neg += np.maximum(z, 0.0)
+        return neg
 
     def derivative(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
         # For z <= 0, dy/dz = alpha * exp(z) = y + alpha.

@@ -134,22 +134,41 @@ class Dense(Module):
         self.bias = bias
 
     def forward(self, x: np.ndarray) -> tuple[np.ndarray, dict[str, Any]]:
-        """Compute ``act(x @ W + b)``; ``x`` has shape ``(batch, in_features)``."""
+        """Compute ``act(x @ W + b)``.
+
+        ``x`` has shape ``(batch, in_features)``, or a stacked
+        ``(groups, batch, in_features)`` — the stacked form runs one BLAS
+        call per leading slice (numpy's batched matmul), so each slice's
+        result is bit-identical to a separate 2-D forward of that slice.
+        """
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
-        if x.shape[1] != self.in_features:
+        if x.shape[-1] != self.in_features:
             raise ValueError(
-                f"input width {x.shape[1]} != layer in_features {self.in_features}"
+                f"input width {x.shape[-1]} != layer in_features {self.in_features}"
             )
         z = x @ self.weight.value + self.bias.value
         y = self.activation.forward(z)
         return y, {"x": x, "z": z, "y": y}
 
     def backward(self, dy: np.ndarray, cache: dict[str, Any]) -> np.ndarray:
-        """Backprop through the layer; accumulates grads, returns ``dL/dx``."""
+        """Backprop through the layer; accumulates grads, returns ``dL/dx``.
+
+        For stacked ``(groups, batch, ...)`` caches, parameter gradients
+        are accumulated slice by slice in leading-axis order, matching a
+        sequential per-slice backward bit for bit.
+        """
         dy = np.atleast_2d(np.asarray(dy, dtype=np.float64))
         dz = dy * self.activation.derivative(cache["z"], cache["y"])
-        self.weight.accumulate(cache["x"].T @ dz)
-        self.bias.accumulate(dz.sum(axis=0))
+        x = cache["x"]
+        if dz.ndim == 2:
+            self.weight.accumulate(x.T @ dz)
+            self.bias.accumulate(dz.sum(axis=0))
+        else:
+            dw = np.matmul(np.swapaxes(x, -1, -2), dz)
+            db = dz.sum(axis=-2)
+            for k in range(dz.shape[0]):
+                self.weight.accumulate(dw[k])
+                self.bias.accumulate(db[k])
         return dz @ self.weight.value.T
 
     def share_with(self, other: "Dense") -> None:

@@ -78,8 +78,22 @@ class MLP(Module):
         return grad
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Inference without keeping caches around for the caller."""
-        out, _ = self.forward(x)
+        """Inference without building backward caches.
+
+        Computes exactly the arithmetic of :meth:`forward` (so results
+        are bit-identical) but skips the per-layer cache dicts and input
+        re-validation — the decision-epoch hot path calls this at batch
+        sizes where that Python overhead, not the GEMMs, dominates.
+        """
+        out = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if out.shape[-1] != self.in_features:
+            raise ValueError(
+                f"input width {out.shape[-1]} != layer in_features {self.in_features}"
+            )
+        for layer in self.layers:
+            out = layer.activation.forward(
+                out @ layer.weight.value + layer.bias.value
+            )
         return out
 
     def share_with(self, other: "MLP") -> None:

@@ -5,13 +5,19 @@ an experience memory ``D`` with capacity ``N_D`` and samples minibatches
 from it to train the DNN, "to smooth out learning and avoid oscillations
 or divergence in the parameters". Transitions here additionally carry the
 sojourn time ``tau`` needed by the continuous-time (SMDP) target.
+
+Storage is a set of preallocated ring-buffer arrays rather than a deque
+of dataclasses: ``push`` writes one row per field, and
+:meth:`ReplayMemory.sample_arrays` gathers a minibatch with a single
+fancy index per field — no per-sample Python objects are touched on the
+training hot path. :class:`Transition` remains the one-record interface
+(``push`` accepts it, ``sample``/iteration return it).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -38,24 +44,96 @@ class Transition:
 
 
 class ReplayMemory:
-    """Bounded FIFO transition store with uniform minibatch sampling."""
+    """Bounded FIFO transition store with uniform minibatch sampling.
+
+    Backed by ring-buffer arrays allocated lazily at the first ``push``
+    (the state width is not known earlier). States of any hashable or
+    array-like kind are accepted; non-numeric states fall back to an
+    object-dtype column so the public behaviour is unchanged.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
-        self._buffer: deque[Transition] = deque(maxlen=self.capacity)
+        self._size = 0
+        self._head = 0  # next physical write slot
+        self._states: np.ndarray | None = None
+        self._next_states: np.ndarray | None = None
+        self._actions: np.ndarray | None = None
+        self._rewards: np.ndarray | None = None
+        self._taus: np.ndarray | None = None
 
     def __len__(self) -> int:
-        return len(self._buffer)
+        return self._size
 
     @property
     def full(self) -> bool:
-        return len(self._buffer) == self.capacity
+        return self._size == self.capacity
+
+    def _allocate(self, state: Any) -> None:
+        arr = np.asarray(state)
+        if arr.dtype.kind in "fiub" and arr.ndim == 1:
+            self._states = np.empty((self.capacity, arr.shape[0]), dtype=np.float64)
+            self._next_states = np.empty_like(self._states)
+        else:
+            # Arbitrary state payloads (tabular keys in tests, etc.).
+            self._states = np.empty(self.capacity, dtype=object)
+            self._next_states = np.empty(self.capacity, dtype=object)
+        self._actions = np.empty(self.capacity, dtype=np.int64)
+        self._rewards = np.empty(self.capacity, dtype=np.float64)
+        self._taus = np.empty(self.capacity, dtype=np.float64)
 
     def push(self, transition: Transition) -> None:
         """Append a transition, evicting the oldest when at capacity."""
-        self._buffer.append(transition)
+        if self._states is None:
+            self._allocate(transition.state)
+        i = self._head
+        self._states[i] = transition.state
+        self._next_states[i] = transition.next_state
+        self._actions[i] = transition.action
+        self._rewards[i] = transition.reward
+        self._taus[i] = transition.tau
+        self._head = (i + 1) % self.capacity
+        if self._size < self.capacity:
+            self._size += 1
+
+    def _physical(self, logical: np.ndarray | int) -> np.ndarray | int:
+        """Map logical index (0 = oldest) to a ring-buffer slot."""
+        start = (self._head - self._size) % self.capacity
+        return (start + logical) % self.capacity
+
+    def _draw(self, batch_size: int, rng: np.random.Generator) -> np.ndarray:
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty replay memory")
+        replace = batch_size > self._size
+        logical = rng.choice(self._size, size=batch_size, replace=replace)
+        return self._physical(logical)
+
+    def sample_arrays(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniform minibatch as ``(states, actions, rewards, next_states,
+        taus)`` arrays, gathered straight from the ring buffers without
+        constructing per-sample objects.
+
+        Sampling is without replacement when the batch fits (with,
+        otherwise), drawing the same indices as :meth:`sample` would for
+        the same ``rng`` state.
+
+        Raises
+        ------
+        ValueError
+            If the memory is empty.
+        """
+        idx = self._draw(batch_size, rng)
+        return (
+            self._states[idx],
+            self._actions[idx],
+            self._rewards[idx],
+            self._next_states[idx],
+            self._taus[idx],
+        )
 
     def sample(self, batch_size: int, rng: np.random.Generator) -> list[Transition]:
         """Uniform sample without replacement (with, if batch > size).
@@ -65,15 +143,37 @@ class ReplayMemory:
         ValueError
             If the memory is empty.
         """
-        if not self._buffer:
-            raise ValueError("cannot sample from an empty replay memory")
-        n = len(self._buffer)
-        replace = batch_size > n
-        idx = rng.choice(n, size=batch_size, replace=replace)
-        return [self._buffer[i] for i in idx]
+        idx = np.atleast_1d(self._draw(batch_size, rng))
+        return [self._transition_at(i) for i in idx]
+
+    def _transition_at(self, phys: int) -> Transition:
+        # Copy vector states: a returned Transition must stay stable even
+        # after later pushes overwrite this ring slot (the deque storage
+        # this replaced never mutated returned transitions).
+        state = self._states[phys]
+        next_state = self._next_states[phys]
+        if self._states.dtype != object:
+            state = state.copy()
+            next_state = next_state.copy()
+        return Transition(
+            state=state,
+            action=int(self._actions[phys]),
+            reward=float(self._rewards[phys]),
+            next_state=next_state,
+            tau=float(self._taus[phys]),
+        )
 
     def clear(self) -> None:
-        self._buffer.clear()
+        self._size = 0
+        self._head = 0
+        # Drop the allocation too: a cleared memory accepts states of a
+        # different width/kind, exactly like a fresh one.
+        self._states = None
+        self._next_states = None
+        self._actions = None
+        self._rewards = None
+        self._taus = None
 
-    def __iter__(self):
-        return iter(self._buffer)
+    def __iter__(self) -> Iterator[Transition]:
+        for logical in range(self._size):
+            yield self._transition_at(int(self._physical(logical)))

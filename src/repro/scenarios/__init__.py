@@ -17,16 +17,26 @@ package turns the reproduction into a *scenario machine*:
 * :mod:`repro.scenarios.orchestrator` — fans a (scenario × system ×
   seed) grid out over ``multiprocessing`` and aggregates the results
   into :mod:`repro.harness.report` tables/CSVs.
+* :mod:`repro.scenarios.sharding` — splits one cell's evaluation trace
+  into warm-handoff segments fanned over the same pool, so a single
+  large cell parallelizes too.
 """
 
 from repro.scenarios.orchestrator import (
     SweepCell,
     SweepReport,
     aggregate_rows,
+    detected_cpus,
     render_sweep_csv,
     render_sweep_table,
     run_cell,
     sweep,
+)
+from repro.scenarios.sharding import (
+    SHARD_TOLERANCE,
+    combine_shard_metrics,
+    run_cell_sharded,
+    shard_trace,
 )
 from repro.scenarios.registry import get, names, register, scenario_catalog
 from repro.scenarios.specs import (
@@ -44,9 +54,14 @@ __all__ = [
     "SweepCell",
     "SweepReport",
     "aggregate_rows",
+    "detected_cpus",
     "render_sweep_csv",
     "render_sweep_table",
     "run_cell",
+    "run_cell_sharded",
+    "shard_trace",
+    "combine_shard_metrics",
+    "SHARD_TOLERANCE",
     "sweep",
     "get",
     "names",

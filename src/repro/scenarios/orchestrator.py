@@ -163,10 +163,40 @@ class SweepReport:
         return render_sweep_csv(self.rows())
 
 
+#: Documented floor on the pool size: never less than one worker, even
+#: when CPU detection fails or reports zero (containers, exotic kernels).
+MIN_WORKERS = 1
+
+
+def detected_cpus() -> int:
+    """CPUs usable by *this process*, floored at :data:`MIN_WORKERS`.
+
+    Prefers :func:`os.process_cpu_count` (Python 3.13+, affinity-aware),
+    then the scheduler affinity mask, then :func:`os.cpu_count`. This is
+    the default worker count for sweeps and sharded cells; benches print
+    it so "parallel speedup on N cores" lines are honest about N.
+    """
+    getter = getattr(os, "process_cpu_count", None)
+    count = getter() if getter is not None else None
+    if count is None and hasattr(os, "sched_getaffinity"):
+        try:
+            count = len(os.sched_getaffinity(0))
+        except OSError:  # pragma: no cover - platform quirk
+            count = None
+    if count is None:
+        count = os.cpu_count()
+    return max(MIN_WORKERS, count or MIN_WORKERS)
+
+
 def _pool_workers(workers: int | None, n_tasks: int) -> int:
-    cores = os.cpu_count() or 1
-    limit = workers if workers is not None else cores
-    return max(1, min(limit, n_tasks))
+    limit = workers if workers is not None else detected_cpus()
+    return max(MIN_WORKERS, min(limit, n_tasks))
+
+
+def _pool_context():
+    """The multiprocessing context pools share (fork where available)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
 def sweep(
@@ -251,11 +281,9 @@ def sweep(
         if n_workers == 1:
             computed = [_execute_cell(task) for task in tasks]
         else:
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
-            )
-            with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+            with ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=_pool_context()
+            ) as pool:
                 computed = list(pool.map(_execute_cell, tasks))
         for i, result in zip(pending, computed):
             results[i] = result

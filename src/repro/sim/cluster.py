@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.sim.events import EventQueue
 from repro.sim.interfaces import PowerPolicy
+from repro.sim.ledger import ClusterLedger
 from repro.sim.power import PowerModel
 from repro.sim.server import PowerState, Server
 
@@ -74,6 +75,11 @@ class Cluster:
         self.power_model = power_models[0]
         self.power_models = tuple(power_models)
         self.num_resources = int(num_resources)
+        #: Contiguous per-server observables and time integrals; every
+        #: server writes its own row, so cluster aggregates and the DRL
+        #: state snapshot are array reductions/slices, never per-server
+        #: Python scans.
+        self.ledger = ClusterLedger(num_servers, num_resources)
         self.servers = [
             Server(
                 server_id=i,
@@ -83,6 +89,8 @@ class Cluster:
                 num_resources=num_resources,
                 overload_threshold=overload_threshold,
                 initially_on=initially_on,
+                ledger=self.ledger,
+                ledger_index=i,
             )
             for i in range(num_servers)
         ]
@@ -94,9 +102,8 @@ class Cluster:
         return self.servers[index]
 
     def sync(self, now: float) -> None:
-        """Bring every server's time integrals up to ``now``."""
-        for server in self.servers:
-            server.account(now)
+        """Bring every server's time integrals up to ``now`` (vectorized)."""
+        self.ledger.sync(now)
 
     # ------------------------------------------------------------------
     # Aggregates (callers should sync() first for exact mid-run values)
@@ -104,27 +111,27 @@ class Cluster:
 
     def total_energy(self) -> float:
         """Total cluster energy in joules."""
-        return sum(s.energy_joules for s in self.servers)
+        return float(self.ledger.energy.sum())
 
     def total_power(self) -> float:
         """Instantaneous cluster power draw in watts."""
-        return sum(s.current_power() for s in self.servers)
+        return float(self.ledger.power.sum())
 
     def jobs_in_system(self) -> int:
         """Jobs currently waiting or running anywhere in the cluster."""
-        return sum(s.jobs_in_system for s in self.servers)
+        return int(self.ledger.in_system.sum())
 
     def system_integral(self) -> float:
         """Time integral of the number of jobs in the system (VM-seconds)."""
-        return sum(s.system_integral for s in self.servers)
+        return float(self.ledger.system_int.sum())
 
     def overload_integral(self) -> float:
         """Time integral of the cluster hot-spot measure."""
-        return sum(s.overload_integral for s in self.servers)
+        return float(self.ledger.overload_int.sum())
 
     def num_active_servers(self) -> int:
         """Servers currently on (active or idle)."""
-        return sum(1 for s in self.servers if s.state.is_on)
+        return int(self.ledger.on.sum())
 
     def num_sleeping_servers(self) -> int:
         return sum(1 for s in self.servers if s.state is PowerState.SLEEP)
@@ -137,16 +144,26 @@ class Cluster:
         """Raw state: an ``(M, D)`` matrix of per-server resource usage.
 
         This is the ``u_mp`` block of the paper's global state vector.
+        Returns a copy; the encoder hot path uses :meth:`state_views`.
         """
-        return np.array([s.used.copy() for s in self.servers])
+        return self.ledger.util.copy()
 
     def power_state_vector(self) -> np.ndarray:
         """Per-server on/off indicator (1 = can execute immediately)."""
-        return np.array([1.0 if s.state.is_on else 0.0 for s in self.servers])
+        return self.ledger.on.copy()
 
     def queue_vector(self) -> np.ndarray:
         """Per-server number of waiting jobs."""
-        return np.array([float(s.queue_length) for s in self.servers])
+        return self.ledger.queue.copy()
+
+    def state_views(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy ``(utilization, power_state, queue)`` snapshot views.
+
+        The returned arrays are the ledger's live buffers — treat them as
+        read-only and consume them before the simulation advances.
+        """
+        ledger = self.ledger
+        return ledger.util, ledger.on, ledger.queue
 
     def finalize(self, now: float) -> None:
         """Finalize all servers at the end of a run."""

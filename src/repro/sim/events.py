@@ -3,7 +3,9 @@
 A simple binary-heap priority queue of ``(time, sequence, event)`` where
 the sequence number breaks ties deterministically in insertion order.
 Events carry a callback; cancellation is lazy (a cancelled event is popped
-and skipped), which keeps DPM timeout handling O(log n).
+and skipped), which keeps DPM timeout handling O(log n). A live-event
+counter is maintained on schedule/cancel/pop so ``len(queue)`` is O(1)
+instead of a scan over a heap full of cancelled tombstones.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from typing import Callable
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "kind")
+    __slots__ = ("time", "seq", "callback", "cancelled", "kind", "_queue")
 
     def __init__(
         self,
@@ -23,16 +25,21 @@ class ScheduledEvent:
         seq: int,
         callback: Callable[[float], None],
         kind: str = "",
+        queue: "EventQueue | None" = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
         self.kind = kind
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event so the queue skips it when popped."""
-        self.cancelled = True
+        """Mark the event so the queue skips it when popped (idempotent)."""
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -48,10 +55,11 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[ScheduledEvent] = []
         self._seq = 0
+        self._live = 0  # scheduled minus (cancelled + popped): O(1) len()
         self.now = 0.0
 
     def __len__(self) -> int:
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return self._live
 
     def schedule(
         self,
@@ -68,8 +76,9 @@ class EventQueue:
         """
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} before now ({self.now})")
-        event = ScheduledEvent(time, self._seq, callback, kind)
+        event = ScheduledEvent(time, self._seq, callback, kind, queue=self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -103,6 +112,8 @@ class EventQueue:
                 raise RuntimeError(
                     f"event {event!r} is in the past (now={self.now})"
                 )
+            self._live -= 1
+            event._queue = None  # no longer queued: a late cancel() is a no-op
             self.now = event.time
             return event
         return None

@@ -1,0 +1,103 @@
+"""Contiguous per-server simulation state (struct-of-arrays).
+
+The ledger holds every per-server observable and exact time integral the
+simulator maintains — utilization, power state, queue depth, power draw,
+and the energy / jobs-in-system / overload integrals — as ``(M, ...)``
+arrays shared by the cluster and its servers. Servers update their own
+row scalar-wise at their change points (assign / start / finish / sleep /
+wake), while cluster-wide operations become single vector expressions:
+
+* :meth:`ClusterLedger.sync` integrates *all* servers to ``now`` in a
+  handful of array ops instead of an O(M) Python loop of per-server
+  ``account`` calls;
+* aggregate reads (total energy, VM-seconds, overload) are ``ndarray.sum``
+  reductions;
+* the DRL state encoder consumes the utilization / power-state / queue
+  arrays by slicing, with no per-server object traversal.
+
+Element-wise, the vectorized integration performs exactly the arithmetic
+of the scalar per-server path (``integral[i] += rate[i] * dt[i]``), so
+incrementally-maintained values match a recompute from the per-server
+change-point accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-9
+
+
+class ClusterLedger:
+    """Array-backed state for ``num_servers`` servers.
+
+    Observables (maintained by each server's ``_refresh`` at every change
+    point; rates in effect since ``last_account``):
+
+    - ``util`` — ``(M, D)`` resources in use (servers' ``used`` rows are
+      views into this matrix);
+    - ``on`` — 1.0 where the server can execute (ACTIVE or IDLE);
+    - ``queue`` / ``in_system`` — waiting and waiting+running job counts;
+    - ``power`` — instantaneous draw in watts;
+    - ``active_cpu`` — CPU utilization while ACTIVE, else 0;
+    - ``overload_excess`` — ``max(0, active_cpu - threshold)``.
+
+    Exact time integrals (advanced by ``account``/:meth:`sync`):
+    ``energy``, ``queue_int``, ``system_int``, ``util_int``,
+    ``overload_int``, with per-server ``last_account`` stamps.
+    """
+
+    __slots__ = (
+        "util",
+        "on",
+        "queue",
+        "in_system",
+        "power",
+        "active_cpu",
+        "overload_excess",
+        "energy",
+        "queue_int",
+        "system_int",
+        "util_int",
+        "overload_int",
+        "last_account",
+    )
+
+    def __init__(self, num_servers: int, num_resources: int) -> None:
+        m = int(num_servers)
+        self.util = np.zeros((m, int(num_resources)))
+        self.on = np.zeros(m)
+        self.queue = np.zeros(m)
+        self.in_system = np.zeros(m)
+        self.power = np.zeros(m)
+        self.active_cpu = np.zeros(m)
+        self.overload_excess = np.zeros(m)
+        self.energy = np.zeros(m)
+        self.queue_int = np.zeros(m)
+        self.system_int = np.zeros(m)
+        self.util_int = np.zeros(m)
+        self.overload_int = np.zeros(m)
+        self.last_account = np.zeros(m)
+
+    def sync(self, now: float) -> None:
+        """Integrate every server's time metrics up to ``now`` at once.
+
+        Raises
+        ------
+        RuntimeError
+            If any server's accounting clock is ahead of ``now``.
+        """
+        dt = now - self.last_account
+        bad = np.flatnonzero(dt < -_EPS)
+        if bad.size:
+            raise RuntimeError(
+                f"server {int(bad[0])}: accounting time went backwards "
+                f"({now} < {self.last_account[bad[0]]})"
+            )
+        np.maximum(dt, 0.0, out=dt)
+        self.energy += self.power * dt
+        self.queue_int += self.queue * dt
+        self.system_int += self.in_system * dt
+        self.util_int += self.active_cpu * dt
+        self.overload_int += self.overload_excess * dt
+        self.last_account[:] = now

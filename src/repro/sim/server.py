@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.sim.events import EventQueue, ScheduledEvent
 from repro.sim.job import CPU, Job
+from repro.sim.ledger import ClusterLedger
 from repro.sim.power import PowerModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -73,6 +74,11 @@ class Server:
     initially_on:
         Start in IDLE (True) or SLEEP (False, the default — the paper's
         Fig. 4 example starts asleep).
+    ledger, ledger_index:
+        The :class:`~repro.sim.ledger.ClusterLedger` row this server
+        writes its observables and time integrals into. A cluster passes
+        its shared ledger; a standalone server allocates a private
+        one-row ledger, so the public attributes behave identically.
     """
 
     def __init__(
@@ -84,6 +90,8 @@ class Server:
         num_resources: int = 3,
         overload_threshold: float = 0.9,
         initially_on: bool = False,
+        ledger: ClusterLedger | None = None,
+        ledger_index: int = 0,
     ) -> None:
         if num_resources < 1:
             raise ValueError("need at least one resource dimension")
@@ -96,19 +104,19 @@ class Server:
         self.num_resources = int(num_resources)
         self.overload_threshold = float(overload_threshold)
 
-        self.state = PowerState.IDLE if initially_on else PowerState.SLEEP
+        if ledger is None:
+            ledger = ClusterLedger(1, self.num_resources)
+            ledger_index = 0
+        self._ledger = ledger
+        self._index = int(ledger_index)
+
+        self._state = PowerState.IDLE if initially_on else PowerState.SLEEP
         self.capacity = np.ones(self.num_resources)
-        self.used = np.zeros(self.num_resources)
+        #: Resources in use — a view into the ledger's utilization matrix,
+        #: mutated strictly in place.
+        self.used = ledger.util[self._index]
         self.pending: deque[Job] = deque()
         self.running: dict[int, Job] = {}
-
-        # Exact time integrals, updated at every change point.
-        self.energy_joules = 0.0
-        self.queue_integral = 0.0  # waiting jobs x seconds
-        self.system_integral = 0.0  # (waiting + running) jobs x seconds
-        self.util_integral = 0.0  # CPU-utilization x seconds
-        self.overload_integral = 0.0  # max(0, cpu - threshold) x seconds
-        self._last_account = 0.0
 
         # Bookkeeping.
         self.jobs_assigned = 0
@@ -121,10 +129,95 @@ class Server:
         self._transition_event: ScheduledEvent | None = None
         #: Set by the engine: called as ``on_finish(job, now)`` at completion.
         self.on_finish: Callable[[Job, float], None] | None = None
+        self._refresh()
+
+    # ------------------------------------------------------------------
+    # Ledger-backed state
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> PowerState:
+        """Power mode; assignment refreshes the ledger observables."""
+        return self._state
+
+    @state.setter
+    def state(self, value: PowerState) -> None:
+        self._state = value
+        self._refresh()
+
+    def _refresh(self) -> None:
+        """Re-derive this row's ledger observables after a change point.
+
+        Must run *after* :meth:`account`-then-mutate sequences so the
+        rates in the ledger describe the interval that starts now.
+        """
+        i = self._index
+        ledger = self._ledger
+        state = self._state
+        ledger.on[i] = 1.0 if state.is_on else 0.0
+        ledger.queue[i] = len(self.pending)
+        ledger.in_system[i] = len(self.pending) + len(self.running)
+        cpu = self.cpu_utilization if state is PowerState.ACTIVE else 0.0
+        ledger.active_cpu[i] = cpu
+        ledger.overload_excess[i] = max(0.0, cpu - self.overload_threshold)
+        ledger.power[i] = self.current_power()
 
     # ------------------------------------------------------------------
     # Observables
     # ------------------------------------------------------------------
+
+    @property
+    def energy_joules(self) -> float:
+        """Exact energy integral in joules."""
+        return float(self._ledger.energy[self._index])
+
+    @energy_joules.setter
+    def energy_joules(self, value: float) -> None:
+        self._ledger.energy[self._index] = value
+
+    @property
+    def queue_integral(self) -> float:
+        """Waiting jobs × seconds."""
+        return float(self._ledger.queue_int[self._index])
+
+    @queue_integral.setter
+    def queue_integral(self, value: float) -> None:
+        self._ledger.queue_int[self._index] = value
+
+    @property
+    def system_integral(self) -> float:
+        """(Waiting + running) jobs × seconds."""
+        return float(self._ledger.system_int[self._index])
+
+    @system_integral.setter
+    def system_integral(self, value: float) -> None:
+        self._ledger.system_int[self._index] = value
+
+    @property
+    def util_integral(self) -> float:
+        """CPU-utilization × seconds."""
+        return float(self._ledger.util_int[self._index])
+
+    @util_integral.setter
+    def util_integral(self, value: float) -> None:
+        self._ledger.util_int[self._index] = value
+
+    @property
+    def overload_integral(self) -> float:
+        """max(0, cpu − threshold) × seconds."""
+        return float(self._ledger.overload_int[self._index])
+
+    @overload_integral.setter
+    def overload_integral(self, value: float) -> None:
+        self._ledger.overload_int[self._index] = value
+
+    @property
+    def _last_account(self) -> float:
+        return float(self._ledger.last_account[self._index])
+
+    @_last_account.setter
+    def _last_account(self, value: float) -> None:
+        self._ledger.last_account[self._index] = value
 
     @property
     def cpu_utilization(self) -> float:
@@ -177,6 +270,8 @@ class Server:
         self.capacity = np.full(self.num_resources, fraction)
         if self.state is PowerState.ACTIVE:
             self._try_start_jobs(now)
+        else:
+            self._refresh()
 
     def fits(self, job: Job) -> bool:
         """Whether ``job`` fits in the current free capacity."""
@@ -191,24 +286,28 @@ class Server:
         """Integrate all per-time metrics up to ``now``.
 
         Idempotent at a fixed ``now``; must be called before any state or
-        utilization change.
+        utilization change. Uses the rates maintained in the ledger row
+        (kept current by ``_refresh`` at every change point), so a
+        cluster-wide vectorized :meth:`~repro.sim.ledger.ClusterLedger.sync`
+        performs element-wise exactly this arithmetic.
         """
-        dt = now - self._last_account
+        i = self._index
+        ledger = self._ledger
+        dt = now - ledger.last_account[i]
         if dt < -_EPS:
             raise RuntimeError(
                 f"server {self.server_id}: accounting time went backwards "
-                f"({now} < {self._last_account})"
+                f"({now} < {ledger.last_account[i]})"
             )
         if dt <= 0.0:
-            self._last_account = now
+            ledger.last_account[i] = now
             return
-        self.energy_joules += self.current_power() * dt
-        self.queue_integral += len(self.pending) * dt
-        self.system_integral += self.jobs_in_system * dt
-        cpu = self.cpu_utilization if self.state is PowerState.ACTIVE else 0.0
-        self.util_integral += cpu * dt
-        self.overload_integral += max(0.0, cpu - self.overload_threshold) * dt
-        self._last_account = now
+        ledger.energy[i] += ledger.power[i] * dt
+        ledger.queue_int[i] += ledger.queue[i] * dt
+        ledger.system_int[i] += ledger.in_system[i] * dt
+        ledger.util_int[i] += ledger.active_cpu[i] * dt
+        ledger.overload_int[i] += ledger.overload_excess[i] * dt
+        ledger.last_account[i] = now
 
     # ------------------------------------------------------------------
     # Job flow
@@ -233,8 +332,11 @@ class Server:
         elif self.state is PowerState.SLEEP:
             self._begin_boot(now)
             self.policy.on_active(self, now, from_sleep=True)
-        # BOOTING / SHUTTING_DOWN: the job waits in the queue; the pending
-        # transition completes first (Fig. 4a semantics).
+        else:
+            # BOOTING / SHUTTING_DOWN: the job waits in the queue; the
+            # pending transition completes first (Fig. 4a semantics). No
+            # state change happened, so refresh the queue depth here.
+            self._refresh()
 
     def _try_start_jobs(self, now: float) -> None:
         """Start queued jobs FCFS while the head fits (head-of-line blocking)."""
@@ -250,12 +352,13 @@ class Server:
                 lambda t, job=job: self._on_job_finish(job, t),
                 kind=f"finish:{job.job_id}",
             )
+        self._refresh()
 
     def _on_job_finish(self, job: Job, now: float) -> None:
         self.account(now)
         del self.running[job.job_id]
         demand = np.asarray(job.resources[: self.num_resources])
-        self.used = np.maximum(self.used - demand, 0.0)
+        np.maximum(self.used - demand, 0.0, out=self.used)
         job.finish_time = now
         self.jobs_completed += 1
         self._try_start_jobs(now)

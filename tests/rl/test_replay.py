@@ -77,6 +77,17 @@ class TestReplayMemory:
         mem.clear()
         assert len(mem) == 0
 
+    def test_sampled_transitions_survive_eviction(self, rng):
+        # Ring-buffer regression guard: a sampled Transition must not
+        # alias the live buffer, or later pushes would rewrite it.
+        mem = ReplayMemory(2)
+        mem.push(Transition(np.array([1.0]), 0, 0.0, np.array([1.5]), 1.0))
+        mem.push(Transition(np.array([2.0]), 0, 0.0, np.array([2.5]), 1.0))
+        held = mem.sample(2, rng)
+        mem.push(Transition(np.array([99.0]), 0, 0.0, np.array([99.5]), 1.0))
+        states = sorted(float(t.state[0]) for t in held)
+        assert states == [1.0, 2.0]
+
     def test_sampling_is_uniform_ish(self):
         rng = np.random.default_rng(0)
         mem = ReplayMemory(4)

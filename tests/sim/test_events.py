@@ -90,6 +90,34 @@ class TestCancellation:
     def test_peek_empty_returns_none(self):
         assert EventQueue().peek_time() is None
 
+    def test_double_cancel_counted_once(self):
+        q = EventQueue()
+        h = q.schedule(1.0, lambda t: None)
+        q.schedule(2.0, lambda t: None)
+        h.cancel()
+        h.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_pop_is_noop(self):
+        q = EventQueue()
+        h = q.schedule(1.0, lambda t: None)
+        q.schedule(2.0, lambda t: None)
+        popped = q.pop()
+        assert popped is h
+        h.cancel()  # stale handle: the event already ran
+        assert len(q) == 1
+
+    def test_len_constant_with_many_tombstones(self):
+        # len() is a maintained counter, not a heap scan: heavy cancelled
+        # backlogs must not change the answer.
+        q = EventQueue()
+        handles = [q.schedule(float(i + 1), lambda t: None) for i in range(1000)]
+        for h in handles[:900]:
+            h.cancel()
+        assert len(q) == 100
+        q.run_until_empty()
+        assert len(q) == 0
+
 
 class TestRun:
     def test_run_returns_event_count(self):
