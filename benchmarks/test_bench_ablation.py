@@ -53,8 +53,8 @@ def test_bench_ablation_architecture(benchmark, traces, out_dir, bench_seed):
     hier_system = HierarchicalSystem(
         "drl-only", proto, ImmediateSleepPolicy(), config, initially_on=False
     )
-    e, l = _evaluate(hier_system, eval_jobs)
-    rows.append(["fig6-hierarchical", proto.qnet.num_parameters(), f"{e:.2f}", f"{l:.0f}"])
+    e, lat = _evaluate(hier_system, eval_jobs)
+    rows.append(["fig6-hierarchical", proto.qnet.num_parameters(), f"{e:.2f}", f"{lat:.0f}"])
 
     import numpy as np
 
@@ -70,8 +70,8 @@ def test_bench_ablation_architecture(benchmark, traces, out_dir, bench_seed):
     for trace in train_traces:  # same online training budget
         flat_system.run([j.copy() for j in trace])
         flat_system.run([j.copy() for j in trace])
-    e, l = _evaluate(flat_system, eval_jobs)
-    rows.append(["flat-mlp", flat_broker.qnet.num_parameters(), f"{e:.2f}", f"{l:.0f}"])
+    e, lat = _evaluate(flat_system, eval_jobs)
+    rows.append(["flat-mlp", flat_broker.qnet.num_parameters(), f"{e:.2f}", f"{lat:.0f}"])
 
     text = format_table(["architecture", "params", "energy kWh", "mean latency s"], rows)
     save_artifact(out_dir, "ablation_architecture.txt", text)
@@ -95,8 +95,8 @@ def test_bench_ablation_groups(benchmark, traces, out_dir, bench_seed):
             seed=bench_seed,
         )
         system = make_system("drl-only", config, train_traces)
-        e, l = _evaluate(system, eval_jobs)
-        rows.append([k, system.broker.qnet.num_parameters(), f"{e:.2f}", f"{l:.0f}"])
+        e, lat = _evaluate(system, eval_jobs)
+        rows.append([k, system.broker.qnet.num_parameters(), f"{e:.2f}", f"{lat:.0f}"])
     text = format_table(["K", "params", "energy kWh", "mean latency s"], rows)
     save_artifact(out_dir, "ablation_groups.txt", text)
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
@@ -120,8 +120,8 @@ def test_bench_ablation_state_features(benchmark, traces, out_dir, bench_seed):
             ),
         )
         system = make_system("drl-only", config, train_traces)
-        e, l = _evaluate(system, eval_jobs)
-        rows.append([label, f"{e:.2f}", f"{l:.0f}"])
+        e, lat = _evaluate(system, eval_jobs)
+        rows.append([label, f"{e:.2f}", f"{lat:.0f}"])
     text = format_table(["state features", "energy kWh", "mean latency s"], rows)
     save_artifact(out_dir, "ablation_state.txt", text)
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
@@ -141,8 +141,8 @@ def test_bench_ablation_dpm_learner_sharing(benchmark, traces, out_dir, bench_se
             global_prototype=proto,
             shared_dpm_learner=shared,
         )
-        e, l = _evaluate(system, eval_jobs)
-        rows.append([label, f"{e:.2f}", f"{l:.0f}"])
+        e, lat = _evaluate(system, eval_jobs)
+        rows.append([label, f"{e:.2f}", f"{lat:.0f}"])
     text = format_table(["local-tier learner", "energy kWh", "mean latency s"], rows)
     save_artifact(out_dir, "ablation_dpm.txt", text)
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -51,11 +51,13 @@ def _evaluate(predictor, test_series):
         naive.append(window[-1])
         truth.append(test_series[i + look])
     preds, naive, truth = map(np.asarray, (preds, naive, truth))
+
     # Compare in the (log-)normalized space the network is trained in.
-    err = lambda a, b: float(
-        np.mean((predictor.transform(a) - predictor.transform(b)) ** 2)
-    )
-    cat = lambda arr: np.array([predictor.categorize(v) for v in arr])
+    def err(a, b):
+        return float(np.mean((predictor.transform(a) - predictor.transform(b)) ** 2))
+
+    def cat(arr):
+        return np.array([predictor.categorize(v) for v in arr])
     return {
         "lstm_mse": err(preds, truth),
         "naive_mse": err(naive, truth),

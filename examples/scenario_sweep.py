@@ -31,12 +31,17 @@ def main() -> None:
 
     # 1. Sweep every builtin scenario with two baseline systems. Small
     #    job counts keep this a demo; raise n_jobs (and add "drl-only"
-    #    or "hierarchical" to systems) for real comparisons.
+    #    or "hierarchical" to systems) for real comparisons — DRL cells
+    #    sharing a (scenario, seed) then train their policy only once
+    #    and warm-start from the checkpoint blob on every later sweep.
+    #    Progress lines stream as cells complete; a killed run resumes
+    #    from the journal (CLI: `scenario sweep --resume`).
     t0 = time.perf_counter()
     report = sweep(
         systems=("round-robin", "packing"),
         seeds=(0, 1),
         n_jobs=300,
+        progress=print,
     )
     elapsed = time.perf_counter() - t0
     print(f"\nsweep: {len(report.results)} cells in {elapsed:.1f} s "

@@ -10,17 +10,22 @@ Usage::
     python -m repro systems
     python -m repro scenario list
     python -m repro scenario run   --name NAME [--system SYS] [--jobs N]
-                                   [--shards S] [--workers W]
+                                   [--shards S] [--workers W] [--warm]
     python -m repro scenario sweep [--scenarios a,b] [--systems x,y]
                                    [--seeds 0,1] [--jobs N] [--workers W]
+                                   [--resume] [--no-warm-start]
+                                   [--series-out FILE]
 
 ``table1`` prints the paper-style summary table plus the recomputed
 headline claims; the figure commands print (or write) the CSV series the
 paper plots; ``workload`` generates and characterizes a synthetic trace
 (optionally writing it as a canonical trace CSV); ``systems`` lists the
 named systems; ``scenario`` drives the scenario suite — ``sweep`` fans
-the (scenario × system × seed) grid out over a process pool and caches
-each cell under ``.repro-cache/`` so re-runs return instantly.
+the (scenario × system × seed) grid out over a process pool, journals
+each completed cell under ``.repro-cache/`` as it finishes (so a killed
+sweep resumes with ``--resume``), trains each scenario's DRL policy once
+and warm-starts its cells from the checkpoint blob, and can emit the
+Fig-8-style per-system series with ``--series-out``.
 """
 
 from __future__ import annotations
@@ -119,6 +124,11 @@ def _split_csv(value: str) -> list[str]:
     return [item.strip() for item in value.split(",") if item.strip()]
 
 
+def _progress_printer(line: str) -> None:
+    """Live sweep progress: stderr, so ``--out``/stdout CSVs stay clean."""
+    print(line, file=sys.stderr, flush=True)
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.scenarios import registry
 
@@ -127,13 +137,45 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return 0
 
     if args.action == "run":
-        spec = registry.get(args.name)
-        if args.shards > 1:
-            from repro.scenarios.sharding import run_cell_sharded
+        import inspect
 
+        from repro.harness.runner import make_system
+        from repro.scenarios.sharding import run_cell_sharded
+
+        def _default(fn, param: str):
+            return inspect.signature(fn).parameters[param].default
+
+        spec = registry.get(args.name)
+        checkpoint = None
+        # The warm path must train exactly what the cold path would, so
+        # read the protocol off the callee each branch actually uses:
+        # sharded runs follow run_cell_sharded's defaults, unsharded runs
+        # follow make_system's.
+        cold = run_cell_sharded if args.shards > 1 else make_system
+        online_epochs = _default(cold, "online_epochs")
+        local_epochs = _default(cold, "local_epochs")
+        if args.warm:
+            from repro.harness.runner import needs_global_tier
+            from repro.scenarios.checkpoints import (
+                CheckpointStore,
+                ensure_checkpoint,
+            )
+
+            if not needs_global_tier(args.system):
+                print(f"# {args.system} trains no policy; --warm ignored",
+                      file=sys.stderr)
+            else:
+                store = CheckpointStore(args.cache_dir / "checkpoints")
+                checkpoint = ensure_checkpoint(
+                    store, spec, n_jobs=args.jobs, seed=args.seed,
+                    online_epochs=online_epochs,
+                    with_predictor=args.system == "hierarchical",
+                )
+        if args.shards > 1:
             cell = run_cell_sharded(
                 spec, args.system, n_jobs=args.jobs, seed=args.seed,
                 shards=args.shards, workers=args.workers,
+                checkpoint=checkpoint,
             )
             lines = [
                 f"scenario: {spec.name} ({spec.description})",
@@ -151,9 +193,17 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
         from repro.harness.runner import make_scenario_system, run_system
 
-        system, eval_jobs, events = make_scenario_system(
-            args.system, args.name, n_jobs=args.jobs, seed=args.seed
-        )
+        if checkpoint is not None:
+            from repro.scenarios.checkpoints import warm_scenario_system
+
+            system, eval_jobs, events = warm_scenario_system(
+                args.system, spec, args.jobs, checkpoint, seed=args.seed,
+                local_epochs=local_epochs,
+            )
+        else:
+            system, eval_jobs, events = make_scenario_system(
+                args.system, args.name, n_jobs=args.jobs, seed=args.seed
+            )
         result = run_system(system, eval_jobs, capacity_events=events)
         lines = [
             f"scenario: {spec.name} ({spec.description})",
@@ -171,6 +221,15 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.scenarios.orchestrator import detected_cpus, sweep
     from repro.scenarios.store import ResultStore
 
+    if args.resume:
+        if args.no_cache or args.force:
+            print("error: --resume needs the journal; it conflicts with "
+                  "--no-cache and --force", file=sys.stderr)
+            return 2
+        if len(ResultStore(args.cache_dir)) == 0:
+            print(f"error: --resume found no journaled cells under "
+                  f"{args.cache_dir}; nothing to resume", file=sys.stderr)
+            return 2
     report = sweep(
         scenarios=_split_csv(args.scenarios) if args.scenarios else None,
         systems=tuple(_split_csv(args.systems)),
@@ -180,13 +239,21 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         store=ResultStore(args.cache_dir),
         use_cache=not args.no_cache,
         force=args.force,
+        warm_start=not args.no_warm_start,
+        progress=_progress_printer,
     )
+    if args.resume and report.n_cached == 0:
+        print("warning: --resume matched no journaled cells — the grid or "
+              "protocol differs from the crashed run", file=sys.stderr)
     text = report.render_csv() if args.csv else report.render_table()
     text += (
         f"\n# {len(report.results)} cells: {report.n_cached} cached, "
         f"{report.n_computed} computed"
     )
     _emit(text, args.out)
+    if args.series_out is not None:
+        args.series_out.write_text(report.render_series_csv() + "\n")
+        print(f"wrote {args.series_out}")
     # Stdout-only (kept out of --out artifacts so sweep outputs stay
     # byte-identical across worker counts): the parallelism actually used
     # — the pool is capped at the number of cells that needed computing.
@@ -243,6 +310,12 @@ def build_parser() -> argparse.ArgumentParser:
     sc_run.add_argument("--workers", type=int, default=None,
                         help="process-pool size for sharded runs "
                              "(default: detected CPU count)")
+    sc_run.add_argument("--warm", action="store_true",
+                        help="warm-start DRL systems from the policy "
+                             "checkpoint store (training on first use)")
+    sc_run.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"),
+                        help="cache root holding checkpoint blobs "
+                             "(default .repro-cache)")
     _add_common(sc_run, default_jobs=600)
 
     sc_sweep = sc_sub.add_parser(
@@ -263,8 +336,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="neither read nor write the result store")
     sc_sweep.add_argument("--force", action="store_true",
                           help="recompute every cell, overwriting the cache")
+    sc_sweep.add_argument("--resume", action="store_true",
+                          help="continue a crashed/killed sweep: requires a "
+                               "non-empty journal, replays it, and computes "
+                               "only the missing cells (conflicts with "
+                               "--no-cache/--force)")
+    sc_sweep.add_argument("--no-warm-start", action="store_true",
+                          help="train each DRL cell's policy in-cell instead "
+                               "of once per training group via checkpoints")
     sc_sweep.add_argument("--csv", action="store_true",
                           help="emit CSV instead of the aligned table")
+    sc_sweep.add_argument("--series-out", type=Path, default=None,
+                          help="also write Fig-8-style accumulated "
+                               "latency/energy series (long-form CSV)")
     sc_sweep.add_argument("--out", type=Path, default=None)
     return parser
 

@@ -15,7 +15,7 @@ to construct a ready-to-run :class:`~repro.sim.engine.ClusterEngine`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

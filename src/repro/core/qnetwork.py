@@ -116,6 +116,16 @@ class FlatQNetwork(Module):
         twin.load_state_dict(self.state_dict())
         return twin
 
+    def describe(self) -> dict:
+        """Architecture fingerprint (plain data, for checkpoint metadata)."""
+        return {
+            "kind": "flat",
+            "state_dim": self.encoder.state_dim,
+            "num_actions": self.num_actions,
+            "hidden": list(self.hidden),
+            "num_parameters": self.num_parameters(),
+        }
+
 
 class HierarchicalQNetwork(Module):
     """Q(s, a) estimator over all M server actions.
@@ -448,6 +458,31 @@ class HierarchicalQNetwork(Module):
         )
         twin.load_state_dict(self.state_dict())
         return twin
+
+    def describe(self) -> dict:
+        """Architecture fingerprint (plain data, for checkpoint metadata).
+
+        Two networks with equal fingerprints have interchangeable
+        :meth:`state_dict` snapshots; the checkpoint store records this
+        alongside the weights so a geometry mismatch (e.g. a scenario
+        whose fleet changed under a stale blob) fails with a clear
+        message instead of a shape error deep inside ``load_state_dict``.
+        """
+        return {
+            "kind": "hierarchical",
+            "num_groups": self.num_groups,
+            "group_dim": self.group_dim,
+            "group_size": self.group_size,
+            "job_dim": self.job_dim,
+            "num_actions": self.num_actions,
+            "code_dim": self.code_dim,
+            "subq_in": self.subq_in,
+            "subq_hidden": list(self.subq.layer_sizes[1:-1]),
+            "autoencoder_hidden": [
+                layer.out_features for layer in self.autoencoder.encoder.layers
+            ],
+            "num_parameters": self.num_parameters(),
+        }
 
     def pretrain_autoencoder(
         self,

@@ -43,7 +43,6 @@ from repro.core.baselines import (
     LeastLoadedBroker,
     PackingBroker,
     RandomBroker,
-    RoundRobinBroker,
 )
 from repro.core.config import ExperimentConfig
 from repro.core.global_tier import DRLGlobalBroker, offline_pretrain
@@ -151,6 +150,43 @@ def needs_global_tier(name: str) -> bool:
     return any(name.startswith(prefix) for prefix in _DRL_PREFIXES)
 
 
+def derive_cell_seeds(seed: int) -> tuple[np.random.SeedSequence, int]:
+    """The (trace seed-sequence, system seed) a scenario cell derives.
+
+    The single definition shared by cold construction
+    (:func:`make_scenario_system`) and checkpoint-backed warm starts
+    (:mod:`repro.scenarios.checkpoints`): both paths must see identical
+    traces and identical controller initialization or warm cells would
+    silently run a different experiment.
+    """
+    trace_ss, system_ss = np.random.SeedSequence(seed).spawn(2)
+    return trace_ss, int(system_ss.generate_state(1)[0])
+
+
+def build_pretrained_predictor(
+    config: ExperimentConfig,
+    train_traces: list[list[Job]],
+    seed: int,
+) -> WorkloadPredictor:
+    """The LSTM predictor a hierarchical system starts evaluation with.
+
+    Shared by :func:`make_system`'s cold path and checkpoint training
+    (:func:`repro.scenarios.checkpoints.train_policy`), so the warm
+    path's stored weights are bit-for-bit the ones a cold cell would
+    have trained. A trace too short for a full look-back window leaves
+    the predictor legitimately unfitted.
+    """
+    predictor = WorkloadPredictor(
+        config.local_tier.predictor, rng=np.random.default_rng(seed)
+    )
+    if train_traces:
+        try:
+            pretrain_predictor(predictor, train_traces[0], config.num_servers)
+        except ValueError:
+            pass  # trace too short for a full look-back window
+    return predictor
+
+
 def train_global_prototype(
     config: ExperimentConfig,
     train_traces: list[list[Job]],
@@ -210,6 +246,7 @@ def make_system(
     config: ExperimentConfig | None = None,
     train_traces: list[list[Job]] | None = None,
     global_prototype: DRLGlobalBroker | None = None,
+    predictor: WorkloadPredictor | None = None,
     pretrain: bool = True,
     online_epochs: int = 2,
     local_epochs: int = 2,
@@ -230,6 +267,11 @@ def make_system(
         A broker from :func:`train_global_prototype`. When given, DRL
         systems clone its Q-network instead of training their own —
         isolating local-tier differences.
+    predictor:
+        A (typically pre-trained) LSTM workload predictor for the
+        hierarchical system's local tier. When given, the usual
+        offline predictor pre-training is skipped — this is how policy
+        checkpoints warm-start the local tier.
     online_epochs:
         Online global-training passes when *no* prototype is supplied.
     local_epochs:
@@ -285,13 +327,11 @@ def make_system(
     # --- DRL-based systems ------------------------------------------------
     if global_prototype is not None:
         broker = clone_global_broker(global_prototype, config, seed=seed)
-        fresh_global = False
     else:
         broker = train_global_prototype(
             config, train_traces, pretrain=pretrain, online_epochs=online_epochs,
             seed=seed,
         )
-        fresh_global = True
 
     if name == "drl-only":
         return HierarchicalSystem(
@@ -311,12 +351,10 @@ def make_system(
             initially_on=False,
         )
     # name == "hierarchical"
-    predictor = WorkloadPredictor(config.local_tier.predictor, rng=rng)
-    if train_traces:
-        try:
-            pretrain_predictor(predictor, train_traces[0], config.num_servers)
-        except ValueError:
-            pass  # trace too short for a full look-back window
+    if predictor is None:
+        predictor = build_pretrained_predictor(
+            config, train_traces, config.seed if seed is None else seed
+        )
     system = build_hierarchical(
         config,
         broker=broker,
@@ -324,10 +362,9 @@ def make_system(
         shared_dpm_learner=shared_dpm_learner,
         seed=seed,
     )
-    # Warm up the local tier (and, if the global tier is fresh, it keeps
-    # learning too — both tiers are online learners).
-    warmup = local_epochs if not fresh_global else max(local_epochs, 0)
-    for _ in range(warmup):
+    # Warm up the local tier; the global tier keeps learning through
+    # these passes too when it is fresh — both tiers are online learners.
+    for _ in range(local_epochs):
         for trace in train_traces:
             system.run([job.copy() for job in trace])
     return system
@@ -351,14 +388,14 @@ def make_scenario_system(
     from repro.scenarios import registry
 
     spec = registry.get(scenario) if isinstance(scenario, str) else scenario
-    trace_ss, system_ss = np.random.SeedSequence(seed).spawn(2)
+    trace_ss, system_seed = derive_cell_seeds(seed)
     config = spec.experiment_config(seed=seed)
     eval_jobs, train_traces = spec.build_traces(n_jobs, trace_ss)
     system = make_system(
         name,
         config,
         train_traces,
-        seed=int(system_ss.generate_state(1)[0]),
+        seed=system_seed,
         **make_kwargs,
     )
     return system, eval_jobs, spec.capacity_events(spec.horizon_for(n_jobs))

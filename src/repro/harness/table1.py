@@ -18,7 +18,6 @@ from repro.core.config import ExperimentConfig, GlobalTierConfig
 from repro.harness.report import format_table
 from repro.harness.runner import RunResult, standard_protocol
 from repro.workload.synthetic import (
-    REFERENCE_SERVERS,
     SyntheticTraceConfig,
     generate_trace,
     reference_rate,

@@ -13,7 +13,7 @@ from typing import Any, Iterator
 
 import numpy as np
 
-from repro.nn.activations import Activation, Identity, get_activation
+from repro.nn.activations import Activation, get_activation
 from repro.nn.initializers import xavier_uniform, zeros
 from repro.nn.parameter import Parameter
 

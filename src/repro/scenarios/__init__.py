@@ -20,29 +20,42 @@ package turns the reproduction into a *scenario machine*:
 * :mod:`repro.scenarios.sharding` — splits one cell's evaluation trace
   into warm-handoff segments fanned over the same pool, so a single
   large cell parallelizes too.
+* :mod:`repro.scenarios.checkpoints` — content-keyed policy weight
+  blobs (train-once / evaluate-many): DRL cells sharing a training key
+  warm-start from one stored ``HierarchicalQNetwork`` + LSTM snapshot.
 """
 
+from repro.scenarios.checkpoints import (
+    CheckpointStore,
+    PolicyCheckpoint,
+    ensure_checkpoint,
+    train_policy,
+    training_request,
+    warm_scenario_system,
+)
 from repro.scenarios.orchestrator import (
     SweepCell,
     SweepReport,
     aggregate_rows,
+    aggregate_series_rows,
     detected_cpus,
     render_sweep_csv,
+    render_sweep_series_csv,
     render_sweep_table,
     run_cell,
     sweep,
 )
+from repro.scenarios.registry import get, names, register, scenario_catalog
 from repro.scenarios.sharding import (
     SHARD_TOLERANCE,
     combine_shard_metrics,
     run_cell_sharded,
     shard_trace,
 )
-from repro.scenarios.registry import get, names, register, scenario_catalog
 from repro.scenarios.specs import (
     CapacityWindowSpec,
-    FleetSpec,
     FlashCrowdSpec,
+    FleetSpec,
     JobClassSpec,
     ScenarioSpec,
     ServerClassSpec,
@@ -54,8 +67,10 @@ __all__ = [
     "SweepCell",
     "SweepReport",
     "aggregate_rows",
+    "aggregate_series_rows",
     "detected_cpus",
     "render_sweep_csv",
+    "render_sweep_series_csv",
     "render_sweep_table",
     "run_cell",
     "run_cell_sharded",
@@ -68,11 +83,17 @@ __all__ = [
     "register",
     "scenario_catalog",
     "CapacityWindowSpec",
+    "CheckpointStore",
     "FleetSpec",
     "FlashCrowdSpec",
     "JobClassSpec",
+    "PolicyCheckpoint",
     "ScenarioSpec",
     "ServerClassSpec",
     "WorkloadSpec",
     "ResultStore",
+    "ensure_checkpoint",
+    "train_policy",
+    "training_request",
+    "warm_scenario_system",
 ]

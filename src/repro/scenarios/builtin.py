@@ -19,7 +19,6 @@ from dataclasses import replace
 
 from repro.scenarios.registry import register
 from repro.scenarios.specs import (
-    CapacityWindowSpec,
     FleetSpec,
     FlashCrowdSpec,
     JobClassSpec,

@@ -1,0 +1,360 @@
+"""Policy checkpoints: train a sweep cell's controllers once, reuse everywhere.
+
+Table-1 style grids vary mostly *evaluation* knobs across their DRL
+cells, yet the orchestrator used to retrain the global prototype (and the
+LSTM predictor) inside every cell. This module factors the training out:
+
+* :func:`training_request` — the *training-relevant* subset of a cell
+  request: scenario content, seed, trace length, and the protocol knobs
+  that shape training (``pretrain``, ``online_epochs``). Evaluation-only
+  parameters (``record_every``, ``local_epochs``, the system name) are
+  deliberately excluded, so cells that differ only in how they are
+  *evaluated* share one training key.
+* :func:`train_policy` — reproduces exactly the training a cell would
+  have done on its own (same :class:`~numpy.random.SeedSequence`
+  derivation as :func:`~repro.harness.runner.make_scenario_system`) and
+  captures the result as a :class:`PolicyCheckpoint`.
+* :class:`CheckpointStore` — content-keyed ``.npz`` blobs under
+  ``.repro-cache/checkpoints/``, atomic like the result store, with a
+  schema gate so stale blobs are ignored rather than half-loaded.
+* :func:`warm_scenario_system` — rebuilds a ready-to-evaluate system
+  from a checkpoint: the DRL broker is cloned from the stored Q-network
+  weights, the hierarchical predictor from the stored LSTM weights.
+
+The orchestrator composes these into train-once / evaluate-many: one
+training per group of cells sharing a key, fanned over the worker pool,
+then every evaluation cell warm-starts from the group's blob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import ExperimentConfig
+from repro.core.global_tier import DRLGlobalBroker
+from repro.core.hierarchical import build_drl_only
+from repro.core.predictor import WorkloadPredictor
+from repro.harness.runner import (
+    build_pretrained_predictor,
+    derive_cell_seeds,
+    make_system,
+    needs_global_tier,
+    train_global_prototype,
+)
+from repro.nn.serialize import load_states, save_states
+from repro.scenarios.specs import ScenarioSpec
+from repro.scenarios.store import ContentAddressedStore, content_key
+
+#: Bump when the blob layout or warm-start semantics change; a blob
+#: carrying any other version is ignored (treated as a miss) on read.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+DEFAULT_CHECKPOINT_ROOT = Path(".repro-cache") / "checkpoints"
+
+
+def training_request(
+    spec: ScenarioSpec,
+    n_jobs: int,
+    seed: int,
+    pretrain: bool = True,
+    online_epochs: int = 1,
+) -> dict:
+    """The content-keyed payload identifying one policy training.
+
+    Contains everything that shapes the trained weights — and nothing
+    else, so evaluation-only knobs never invalidate a checkpoint. Note
+    ``n_jobs`` *is* training-relevant: training segments are sized from
+    the evaluation trace length.
+    """
+    return {
+        "scenario": spec.content_dict(),
+        "seed": seed,
+        "n_jobs": n_jobs,
+        "pretrain": pretrain,
+        "online_epochs": online_epochs,
+    }
+
+
+@dataclass
+class PolicyCheckpoint:
+    """Serialized controller weights for one training key.
+
+    Parameters
+    ----------
+    qnet_state:
+        :meth:`~repro.nn.layers.Module.state_dict` of the trained
+        :class:`~repro.core.qnetwork.HierarchicalQNetwork`.
+    epsilon:
+        The prototype broker's annealed exploration rate at capture time
+        (clones resume exploration from here).
+    predictor_state:
+        State dict of the LSTM predictor network, when predictor
+        training was attempted; None otherwise.
+    predictor_fitted:
+        Whether the predictor was actually fitted (a too-short trace
+        legitimately leaves it unfitted — that is recorded, not retried).
+    predictor_attempted:
+        Whether predictor training was attempted at all. A blob trained
+        for a predictor-free group can be upgraded later by retraining
+        with the predictor included.
+    meta:
+        Free-form metadata (architecture fingerprint, training request).
+    """
+
+    qnet_state: dict[str, np.ndarray]
+    epsilon: float
+    predictor_state: dict[str, np.ndarray] | None = None
+    predictor_fitted: bool = False
+    predictor_attempted: bool = False
+    meta: dict = field(default_factory=dict)
+
+
+def train_policy(
+    spec: ScenarioSpec,
+    n_jobs: int = 600,
+    seed: int = 0,
+    pretrain: bool = True,
+    online_epochs: int = 1,
+    with_predictor: bool = True,
+) -> PolicyCheckpoint:
+    """Train the shared controllers for one training key.
+
+    Bit-for-bit the training a cell performs when it trains alone: the
+    shared seed derivation (:func:`~repro.harness.runner.derive_cell_seeds`),
+    the same traces, the same
+    :func:`~repro.harness.runner.train_global_prototype` call, and (when
+    ``with_predictor``) the exact predictor pre-training of
+    :func:`~repro.harness.runner.build_pretrained_predictor`.
+    """
+    trace_ss, system_seed = derive_cell_seeds(seed)
+    config = spec.experiment_config(seed=seed)
+    _, train_traces = spec.build_traces(n_jobs, trace_ss)
+    broker = train_global_prototype(
+        config,
+        train_traces,
+        pretrain=pretrain,
+        online_epochs=online_epochs,
+        seed=system_seed,
+    )
+    predictor_state = None
+    predictor_fitted = False
+    if with_predictor:
+        predictor = build_pretrained_predictor(config, train_traces, system_seed)
+        predictor_state = predictor.network.state_dict()
+        predictor_fitted = predictor.fitted
+    return PolicyCheckpoint(
+        qnet_state=broker.qnet.state_dict(),
+        epsilon=broker.epsilon,
+        predictor_state=predictor_state,
+        predictor_fitted=predictor_fitted,
+        predictor_attempted=with_predictor,
+        meta={
+            "arch": broker.qnet.describe(),
+            "request": training_request(spec, n_jobs, seed, pretrain, online_epochs),
+        },
+    )
+
+
+def restore_prototype(
+    checkpoint: PolicyCheckpoint,
+    config: ExperimentConfig,
+    seed: int,
+) -> DRLGlobalBroker:
+    """A prototype broker carrying the checkpoint's trained Q-network.
+
+    Raises
+    ------
+    ValueError
+        If the checkpoint's weights do not fit the configuration's
+        encoder geometry (the blob was trained for a different fleet).
+    """
+    broker = build_drl_only(config, seed=seed).broker
+    assert isinstance(broker, DRLGlobalBroker)
+    arch = checkpoint.meta.get("arch")
+    if arch is not None and arch != broker.qnet.describe():
+        raise ValueError(
+            "checkpoint geometry does not match the scenario: "
+            f"blob carries {arch}, scenario needs {broker.qnet.describe()}"
+        )
+    broker.qnet.load_state_dict(checkpoint.qnet_state)
+    broker.epsilon = checkpoint.epsilon
+    return broker
+
+
+def restore_predictor(
+    checkpoint: PolicyCheckpoint,
+    config: ExperimentConfig,
+    seed: int,
+) -> WorkloadPredictor:
+    """The warm LSTM predictor a hierarchical cell should start from.
+
+    Raises
+    ------
+    ValueError
+        If the checkpoint was trained without attempting the predictor.
+    """
+    if not checkpoint.predictor_attempted:
+        raise ValueError(
+            "checkpoint was trained without a predictor; retrain with "
+            "with_predictor=True to serve hierarchical cells"
+        )
+    predictor = WorkloadPredictor(
+        config.local_tier.predictor, rng=np.random.default_rng(seed)
+    )
+    if checkpoint.predictor_state is not None:
+        predictor.network.load_state_dict(checkpoint.predictor_state)
+        predictor.fitted = checkpoint.predictor_fitted
+    return predictor
+
+
+def warm_scenario_system(
+    name: str,
+    spec: ScenarioSpec,
+    n_jobs: int,
+    checkpoint: PolicyCheckpoint,
+    seed: int = 0,
+    local_epochs: int = 1,
+    **make_kwargs,
+):
+    """Build a named DRL system warm-started from a checkpoint.
+
+    The counterpart of :func:`~repro.harness.runner.make_scenario_system`
+    for checkpoint-backed cells: traces and seeds are derived
+    identically, but the global tier is cloned from the stored weights
+    (and the hierarchical predictor restored) instead of being trained.
+    Returns ``(system, eval_jobs, capacity_events)``.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` does not use the DRL global tier.
+    """
+    if not needs_global_tier(name):
+        raise ValueError(f"system {name!r} has no policy to warm-start")
+    trace_ss, system_seed = derive_cell_seeds(seed)
+    config = spec.experiment_config(seed=seed)
+    eval_jobs, train_traces = spec.build_traces(n_jobs, trace_ss)
+    prototype = restore_prototype(checkpoint, config, system_seed)
+    if name == "hierarchical":
+        make_kwargs.setdefault(
+            "predictor", restore_predictor(checkpoint, config, system_seed)
+        )
+    system = make_system(
+        name,
+        config,
+        train_traces,
+        global_prototype=prototype,
+        local_epochs=local_epochs,
+        seed=system_seed,
+        **make_kwargs,
+    )
+    return system, eval_jobs, spec.capacity_events(spec.horizon_for(n_jobs))
+
+
+class CheckpointStore(ContentAddressedStore):
+    """File-backed cache mapping training keys to weight blobs.
+
+    Layout and crash-safety mirror the result store (same
+    :class:`~repro.scenarios.store.ContentAddressedStore` base): blobs
+    live at ``<root>/<key[:2]>/<key>.npz``, writes are atomic, corrupt
+    blobs are deleted on read. Blobs whose schema version differs from
+    :data:`CHECKPOINT_SCHEMA_VERSION` are *ignored* (left in place,
+    reported as a miss) so a version bump simply retrains and overwrites.
+    """
+
+    suffix = ".npz"
+
+    def __init__(self, root: str | Path = DEFAULT_CHECKPOINT_ROOT) -> None:
+        super().__init__(root)
+
+    def get(self, key: str, need_predictor: bool = False) -> PolicyCheckpoint | None:
+        """Load a checkpoint, or None on miss.
+
+        ``need_predictor`` demands a blob whose training at least
+        *attempted* the LSTM predictor; blobs trained for predictor-free
+        groups miss (and get retrained with the predictor included).
+        """
+        path = self.path_for(key)
+        try:
+            states, meta = load_states(path)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated zip, bad JSON, malformed entries: a killed writer
+            # (pre-rename) or tampering. Delete so the slot heals.
+            self._discard(path)
+            return None
+        if meta.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+            return None
+        if "qnet" not in states:
+            return None
+        predictor_attempted = bool(meta.get("predictor_attempted", False))
+        if need_predictor and not predictor_attempted:
+            return None
+        return PolicyCheckpoint(
+            qnet_state=states["qnet"],
+            epsilon=float(meta.get("epsilon", 0.0)),
+            predictor_state=states.get("predictor"),
+            predictor_fitted=bool(meta.get("predictor_fitted", False)),
+            predictor_attempted=predictor_attempted,
+            meta={k: meta[k] for k in ("arch", "request") if k in meta},
+        )
+
+    def put(self, key: str, checkpoint: PolicyCheckpoint) -> Path:
+        """Atomically persist a checkpoint; returns its blob path."""
+        states: dict[str, dict[str, np.ndarray]] = {"qnet": checkpoint.qnet_state}
+        if checkpoint.predictor_state is not None:
+            states["predictor"] = checkpoint.predictor_state
+        meta = {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "epsilon": checkpoint.epsilon,
+            "predictor_fitted": checkpoint.predictor_fitted,
+            "predictor_attempted": checkpoint.predictor_attempted,
+            **checkpoint.meta,
+        }
+        return save_states(self.path_for(key), states, meta)
+
+
+def ensure_checkpoint(
+    store: CheckpointStore | None,
+    spec: ScenarioSpec,
+    n_jobs: int = 600,
+    seed: int = 0,
+    pretrain: bool = True,
+    online_epochs: int = 1,
+    with_predictor: bool = True,
+    force: bool = False,
+) -> PolicyCheckpoint:
+    """Load the checkpoint for a training key, training (and storing) on miss."""
+    key = content_key(training_request(spec, n_jobs, seed, pretrain, online_epochs))
+    if store is not None and not force:
+        cached = store.get(key, need_predictor=with_predictor)
+        if cached is not None:
+            return cached
+    checkpoint = train_policy(
+        spec,
+        n_jobs=n_jobs,
+        seed=seed,
+        pretrain=pretrain,
+        online_epochs=online_epochs,
+        with_predictor=with_predictor,
+    )
+    if store is not None:
+        store.put(key, checkpoint)
+    return checkpoint
+
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointStore",
+    "PolicyCheckpoint",
+    "ensure_checkpoint",
+    "restore_predictor",
+    "restore_prototype",
+    "train_policy",
+    "training_request",
+    "warm_scenario_system",
+]

@@ -1,9 +1,8 @@
 """Parallel (scenario × system × seed) experiment orchestration.
 
 One sweep cell = one scenario, one named system, one seed: the cell
-builds its own traces, trains its own controllers, and simulates its
-own cluster, so cells are fully independent. That independence buys two
-things at once:
+builds its own traces and simulates its own cluster, so cells are fully
+independent. That independence buys three things at once:
 
 * **Parallelism** — cells fan out over a process pool and the grid runs
   at the machine's core count instead of serially; results are
@@ -13,30 +12,44 @@ things at once:
   scenario's parameters, system, seed, protocol knobs) and stored as
   JSON under ``.repro-cache/``, so re-running a sweep recomputes only
   cells whose parameters actually changed.
+* **Resumability** — results are journaled to the store *as cells
+  complete* (not at the end), so a crashed or killed sweep re-run picks
+  up exactly where it stopped: journaled cells come back as cache hits
+  and only the missing ones recompute (``scenario sweep --resume``).
 
-Note the protocol difference from :mod:`repro.harness.table1`: Table I
-shares one trained global prototype across the DRL systems of a cluster
-to isolate local-tier differences; sweep cells deliberately do *not*
-share state, trading a little extra training work for cacheable,
-order-independent cells.
+Training is factored out of the cells (train-once / evaluate-many):
+DRL cells are grouped by their *training key* — the training-relevant
+subset of the request, see :mod:`repro.scenarios.checkpoints` — each
+group's policy is trained once in the pool (or loaded from a checkpoint
+blob), and every cell in the group warm-starts from those weights. This
+is the protocol of :mod:`repro.harness.table1` (one global prototype
+shared across a cluster's DRL systems), now cacheable across sweeps.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.harness.report import format_csv, format_table
-from repro.harness.runner import make_scenario_system, run_system
+from repro.harness.runner import (
+    make_scenario_system,
+    needs_global_tier,
+    run_system,
+)
+from repro.scenarios import checkpoints as ckpt
 from repro.scenarios import registry
 from repro.scenarios.specs import ScenarioSpec
 from repro.scenarios.store import SCHEMA_VERSION, ResultStore, content_key
 
 #: Default systems a sweep compares (Table I's comparison set).
 DEFAULT_SWEEP_SYSTEMS = ("round-robin", "drl-only", "hierarchical")
+
+#: Optional sink for live progress lines (one short string per event).
+ProgressFn = Callable[[str], None]
 
 
 @dataclass(frozen=True)
@@ -65,13 +78,23 @@ def _protocol_dict(
     }
 
 
-def cell_request(cell: SweepCell, protocol: dict) -> dict:
-    """The content-keyed request payload identifying one cell's result."""
+def cell_request(cell: SweepCell, protocol: dict, warm_start: bool = False) -> dict:
+    """The content-keyed request payload identifying one cell's result.
+
+    Warm-started DRL cells carry ``"warm_start": True`` in their
+    protocol — they follow the shared-prototype training protocol, which
+    is a different experiment than train-per-cell, so the two must never
+    share cache slots. Non-DRL cells are unaffected either way and keep
+    identical keys under both modes.
+    """
+    payload = dict(protocol)
+    if warm_start and needs_global_tier(cell.system):
+        payload["warm_start"] = True
     return {
         "scenario": cell.spec.content_dict(),
         "system": cell.system,
         "seed": cell.seed,
-        "protocol": protocol,
+        "protocol": payload,
     }
 
 
@@ -84,6 +107,7 @@ def run_cell(
     pretrain: bool = True,
     online_epochs: int = 1,
     local_epochs: int = 1,
+    checkpoint: "ckpt.PolicyCheckpoint | None" = None,
 ) -> dict:
     """Run one (scenario, system, seed) cell and return JSON-able metrics.
 
@@ -91,17 +115,32 @@ def run_cell(
     :class:`~numpy.random.SeedSequence` spawns independent children for
     trace generation and system construction, so no stream is shared
     with any other cell (or any other system at the same seed).
+
+    With a ``checkpoint``, the cell's DRL controllers are warm-started
+    from the stored weights instead of being trained in-cell
+    (train-once / evaluate-many; see
+    :func:`repro.scenarios.checkpoints.warm_scenario_system`).
     """
     spec = registry.get(scenario) if isinstance(scenario, str) else scenario
-    built, eval_jobs, events = make_scenario_system(
-        system,
-        spec,
-        n_jobs,
-        seed=seed,
-        pretrain=pretrain,
-        online_epochs=online_epochs,
-        local_epochs=local_epochs,
-    )
+    if checkpoint is not None:
+        built, eval_jobs, events = ckpt.warm_scenario_system(
+            system,
+            spec,
+            n_jobs,
+            checkpoint,
+            seed=seed,
+            local_epochs=local_epochs,
+        )
+    else:
+        built, eval_jobs, events = make_scenario_system(
+            system,
+            spec,
+            n_jobs,
+            seed=seed,
+            pretrain=pretrain,
+            online_epochs=online_epochs,
+            local_epochs=local_epochs,
+        )
     result = run_system(
         built, eval_jobs, record_every=record_every, capacity_events=events
     )
@@ -119,12 +158,17 @@ def run_cell(
         "energy_per_job_wh": result.energy_per_job_wh,
         "final_time_s": result.final_time,
         "capacity_events": len(events),
+        # Fig-8-style panels: accumulated latency / energy vs completed
+        # jobs. Lists (not tuples) so computed and JSON-reloaded results
+        # compare equal.
+        "latency_series": [[int(n), float(v)] for n, v in result.latency_series],
+        "energy_series": [[int(n), float(v)] for n, v in result.energy_series],
     }
 
 
 def _execute_cell(args: tuple) -> dict:
     """Process-pool entry point (must be module-level picklable)."""
-    spec, system, seed, protocol = args
+    spec, system, seed, protocol, checkpoint = args
     return run_cell(
         spec,
         system,
@@ -134,6 +178,20 @@ def _execute_cell(args: tuple) -> dict:
         pretrain=protocol["pretrain"],
         online_epochs=protocol["online_epochs"],
         local_epochs=protocol["local_epochs"],
+        checkpoint=checkpoint,
+    )
+
+
+def _train_policy_task(args: tuple) -> "ckpt.PolicyCheckpoint":
+    """Process-pool entry point for one training group's policy."""
+    spec, n_jobs, seed, pretrain, online_epochs, with_predictor = args
+    return ckpt.train_policy(
+        spec,
+        n_jobs=n_jobs,
+        seed=seed,
+        pretrain=pretrain,
+        online_epochs=online_epochs,
+        with_predictor=with_predictor,
     )
 
 
@@ -161,6 +219,12 @@ class SweepReport:
 
     def render_csv(self) -> str:
         return render_sweep_csv(self.rows())
+
+    def series_rows(self) -> list[dict]:
+        return aggregate_series_rows(self.results)
+
+    def render_series_csv(self) -> str:
+        return render_sweep_series_csv(self.series_rows())
 
 
 #: Documented floor on the pool size: never less than one worker, even
@@ -212,6 +276,9 @@ def sweep(
     pretrain: bool = True,
     online_epochs: int = 1,
     local_epochs: int = 1,
+    warm_start: bool = True,
+    checkpoints: "ckpt.CheckpointStore | None" = None,
+    progress: ProgressFn | None = None,
 ) -> SweepReport:
     """Run the (scenario × system × seed) grid, in parallel, with caching.
 
@@ -228,11 +295,25 @@ def sweep(
         execution in-process (useful for determinism checks).
     store:
         The result cache; defaults to ``.repro-cache/`` in the working
-        directory.
+        directory. Completed cells are journaled to it immediately, so
+        a killed sweep resumes from the last finished cell.
     use_cache:
-        Disable to neither read nor write the store.
+        Disable to neither read nor write the store (training still
+        happens once per group — the weights just travel in memory).
     force:
-        Recompute every cell, overwriting cached records.
+        Recompute every cell (and retrain every policy), overwriting
+        cached records and checkpoint blobs.
+    warm_start:
+        Train-once / evaluate-many (the default): group DRL cells by
+        training key, train each group's policy once, warm-start every
+        cell from it. ``False`` restores per-cell training.
+    checkpoints:
+        The policy-blob store; defaults to ``<store.root>/checkpoints``
+        when caching is enabled. Pass explicitly to persist blobs while
+        recomputing results (benchmarks do this).
+    progress:
+        Callable receiving one live status line per event (cells done /
+        cached / total); e.g. ``lambda line: print(line, file=sys.stderr)``.
 
     Results come back in grid order (scenario-major, then system, then
     seed) regardless of which worker finished first.
@@ -249,7 +330,16 @@ def sweep(
     if not seeds:
         raise ValueError("sweep needs at least one seed")
     store = store if store is not None else ResultStore()
-    protocol = _protocol_dict(n_jobs, record_every, pretrain, online_epochs, local_epochs)
+    ckpt_store = checkpoints
+    if ckpt_store is None and use_cache and warm_start:
+        ckpt_store = ckpt.CheckpointStore(store.root / "checkpoints")
+    protocol = _protocol_dict(
+        n_jobs, record_every, pretrain, online_epochs, local_epochs
+    )
+
+    def emit(line: str) -> None:
+        if progress is not None:
+            progress(line)
 
     cells = [
         SweepCell(spec, system, seed)
@@ -257,7 +347,9 @@ def sweep(
         for system in systems
         for seed in seeds
     ]
-    keys = [content_key(cell_request(cell, protocol)) for cell in cells]
+    keys = [
+        content_key(cell_request(cell, protocol, warm_start)) for cell in cells
+    ]
 
     results: list[dict | None] = [None] * len(cells)
     cached = [False] * len(cells)
@@ -272,25 +364,174 @@ def sweep(
         else:
             pending.append(i)
 
+    total = len(cells)
+    emit(
+        f"# sweep: {total} cells, {total - len(pending)} journaled, "
+        f"{len(pending)} to compute"
+    )
+
     if pending:
-        tasks = [
-            (cells[i].spec, cells[i].system, cells[i].seed, protocol)
-            for i in pending
+        # --- group DRL cells by training key (train-once / evaluate-many)
+        group_keys: dict[int, str] = {}
+        groups: dict[str, list[int]] = {}
+        if warm_start:
+            for i in pending:
+                if not needs_global_tier(cells[i].system):
+                    continue
+                tkey = content_key(
+                    ckpt.training_request(
+                        cells[i].spec,
+                        n_jobs,
+                        cells[i].seed,
+                        pretrain=pretrain,
+                        online_epochs=online_epochs,
+                    )
+                )
+                group_keys[i] = tkey
+                groups.setdefault(tkey, []).append(i)
+
+        policies: dict[str, ckpt.PolicyCheckpoint] = {}
+        to_train: list[tuple[str, int, bool]] = []
+        for tkey, members in groups.items():
+            need_predictor = any(
+                cells[i].system == "hierarchical" for i in members
+            )
+            blob = (
+                ckpt_store.get(tkey, need_predictor=need_predictor)
+                if ckpt_store is not None and not force
+                else None
+            )
+            if blob is not None:
+                policies[tkey] = blob
+            else:
+                to_train.append((tkey, members[0], need_predictor))
+        if groups:
+            emit(
+                f"# policies: {len(groups)} training groups for "
+                f"{len(group_keys)} DRL cells ({len(policies)} checkpointed, "
+                f"{len(to_train)} to train)"
+            )
+
+        train_tasks = [
+            (cells[i].spec, n_jobs, cells[i].seed, pretrain, online_epochs, pred)
+            for (_, i, pred) in to_train
         ]
-        n_workers = _pool_workers(workers, len(tasks))
-        if n_workers == 1:
-            computed = [_execute_cell(task) for task in tasks]
-        else:
-            with ProcessPoolExecutor(
-                max_workers=n_workers, mp_context=_pool_context()
-            ) as pool:
-                computed = list(pool.map(_execute_cell, tasks))
-        for i, result in zip(pending, computed):
+        done = {"cells": total - len(pending), "trained": 0}
+
+        def cell_task(j: int) -> tuple:
+            i = pending[j]
+            return (
+                cells[i].spec,
+                cells[i].system,
+                cells[i].seed,
+                protocol,
+                policies.get(group_keys.get(i)),
+            )
+
+        def register_policy(j: int, policy: ckpt.PolicyCheckpoint) -> None:
+            tkey, cell_index, _ = to_train[j]
+            policies[tkey] = policy
+            if ckpt_store is not None:
+                ckpt_store.put(tkey, policy)
+            done["trained"] += 1
+            cell = cells[cell_index]
+            emit(
+                f"# trained [{done['trained']}/{len(to_train)}] "
+                f"{cell.spec.name} seed {cell.seed}"
+            )
+
+        def journal_cell(j: int, result: dict) -> None:
+            i = pending[j]
             results[i] = result
             if use_cache:
-                store.put(keys[i], cell_request(cells[i], protocol), result)
+                store.put(
+                    keys[i], cell_request(cells[i], protocol, warm_start), result
+                )
+            done["cells"] += 1
+            emit(
+                f"# [{done['cells']}/{total}] {cells[i].spec.name} × "
+                f"{cells[i].system} seed {cells[i].seed}: computed"
+            )
+
+        n_workers = _pool_workers(workers, len(pending) + len(train_tasks))
+        if n_workers == 1:
+            # Serial: strict train-then-evaluate phases, in-process (so
+            # tests can monkeypatch and results are trivially ordered).
+            for j, task in enumerate(train_tasks):
+                register_policy(j, _train_policy_task(task))
+            for j in range(len(pending)):
+                journal_cell(j, _execute_cell(cell_task(j)))
+        else:
+            _run_pipelined(
+                n_workers,
+                pending,
+                group_keys,
+                policies,
+                to_train,
+                train_tasks,
+                cell_task,
+                register_policy,
+                journal_cell,
+            )
 
     return SweepReport(results=list(results), cached=cached, keys=keys)  # type: ignore[arg-type]
+
+
+def _run_pipelined(
+    n_workers: int,
+    pending: list[int],
+    group_keys: dict[int, str],
+    policies: dict,
+    to_train: list[tuple[str, int, bool]],
+    train_tasks: list[tuple],
+    cell_task,
+    register_policy,
+    journal_cell,
+) -> None:
+    """Fan trainings and evaluations over one pool, without a barrier.
+
+    Policy-free cells (baselines, blob-backed groups, cold DRL cells)
+    are submitted immediately alongside the training tasks; each
+    still-training group's cells are held back and dispatched the moment
+    its policy lands, so the pool never idles behind the slowest
+    training. Completed results are delivered (journaled) even when a
+    later task fails — the first failure re-raises after the drain, and
+    a failed training simply never releases its group's cells.
+    """
+    waiting: dict[str, list[int]] = {}
+    failure: BaseException | None = None
+    with ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=_pool_context()
+    ) as pool:
+        futures: dict = {}
+        for j, task in enumerate(train_tasks):
+            futures[pool.submit(_train_policy_task, task)] = ("train", j)
+        for j in range(len(pending)):
+            tkey = group_keys.get(pending[j])
+            if tkey is not None and tkey not in policies:
+                waiting.setdefault(tkey, []).append(j)
+            else:
+                futures[pool.submit(_execute_cell, cell_task(j))] = ("cell", j)
+        while futures:
+            finished, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+            for future in finished:
+                kind, j = futures.pop(future)
+                try:
+                    value = future.result()
+                    if kind == "train":
+                        register_policy(j, value)
+                        for k in waiting.pop(to_train[j][0], ()):
+                            futures[pool.submit(_execute_cell, cell_task(k))] = (
+                                "cell",
+                                k,
+                            )
+                    else:
+                        journal_cell(j, value)
+                except BaseException as exc:  # deliver the rest, then re-raise
+                    if failure is None:
+                        failure = exc
+    if failure is not None:
+        raise failure
 
 
 # ----------------------------------------------------------------------
@@ -318,6 +559,37 @@ def aggregate_rows(results: Sequence[dict]) -> list[dict]:
                 "average_power_w": sum(r["average_power_w"] for r in bucket) / n,
             }
         )
+    return rows
+
+
+def aggregate_series_rows(results: Sequence[dict]) -> list[dict]:
+    """Fig-8-style series, averaged over seeds per (scenario, system).
+
+    Each cell result carries accumulated-latency and energy series
+    sampled every ``record_every`` completions; this aligns the seeds'
+    series point-by-point (truncating to the shortest — churned cells
+    can complete slightly fewer jobs) and averages the values, yielding
+    one long-form row per (scenario, system, series, sample point).
+    """
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for result in results:
+        groups.setdefault((result["scenario"], result["system"]), []).append(result)
+    rows: list[dict] = []
+    for (scenario, system), bucket in groups.items():
+        for series in ("latency", "energy"):
+            per_seed = [r.get(f"{series}_series") or [] for r in bucket]
+            n_points = min((len(s) for s in per_seed), default=0)
+            for p in range(n_points):
+                rows.append(
+                    {
+                        "scenario": scenario,
+                        "system": system,
+                        "series": series,
+                        "n_jobs": int(per_seed[0][p][0]),
+                        "value": sum(s[p][1] for s in per_seed) / len(per_seed),
+                        "n_seeds": len(per_seed),
+                    }
+                )
     return rows
 
 
@@ -364,3 +636,11 @@ def render_sweep_csv(rows: Sequence[dict]) -> str:
         "average_power_w",
     ]
     return format_csv(headers, [[row[h] for h in headers] for row in rows])
+
+
+def render_sweep_series_csv(rows: Sequence[dict]) -> str:
+    """Long-form CSV of Fig-8-style series rows (one sample per line)."""
+    headers = ["scenario", "system", "series", "n_jobs", "value", "n_seeds"]
+    return format_csv(
+        headers, [[row[h] for h in headers] for row in rows]
+    )

@@ -167,6 +167,7 @@ def run_cell_sharded(
     pretrain: bool = True,
     online_epochs: int = 1,
     local_epochs: int = 1,
+    checkpoint=None,
 ) -> dict:
     """Run one (scenario, system, seed) cell with its trace sharded.
 
@@ -181,23 +182,39 @@ def run_cell_sharded(
     :func:`~repro.scenarios.orchestrator.detected_cpus`); systems that do
     not pickle fall back to serial shard execution, which still yields
     the sharded (recombined) semantics.
+
+    ``checkpoint`` (a :class:`~repro.scenarios.checkpoints.PolicyCheckpoint`)
+    composes warm starting with sharding: the in-parent training step is
+    replaced by restoring the stored policy weights, so a big DRL cell
+    pays neither training nor serial evaluation.
     """
     from repro.harness.runner import make_scenario_system
     from repro.scenarios import registry
+    from repro.scenarios.checkpoints import warm_scenario_system
     from repro.scenarios.orchestrator import _pool_workers, _pool_context
 
     if shards < 1:
         raise ValueError(f"shards must be positive, got {shards}")
     spec = registry.get(scenario) if isinstance(scenario, str) else scenario
-    built, eval_jobs, events = make_scenario_system(
-        system,
-        spec,
-        n_jobs,
-        seed=seed,
-        pretrain=pretrain,
-        online_epochs=online_epochs,
-        local_epochs=local_epochs,
-    )
+    if checkpoint is not None:
+        built, eval_jobs, events = warm_scenario_system(
+            system,
+            spec,
+            n_jobs,
+            checkpoint,
+            seed=seed,
+            local_epochs=local_epochs,
+        )
+    else:
+        built, eval_jobs, events = make_scenario_system(
+            system,
+            spec,
+            n_jobs,
+            seed=seed,
+            pretrain=pretrain,
+            online_epochs=online_epochs,
+            local_epochs=local_epochs,
+        )
     built.freeze()  # the warm handoff ships one fixed controller snapshot
     segments, starts = shard_trace(eval_jobs, shards)
     shard_events = shard_capacity_events(events, starts)

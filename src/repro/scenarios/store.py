@@ -21,7 +21,9 @@ from pathlib import Path
 
 #: Bump when the result payload's semantics change; keyed into every
 #: request so stale cache entries are never silently reused.
-SCHEMA_VERSION = 1
+#: v2: cell results carry Fig-8-style ``latency_series``/``energy_series``
+#: and DRL cells may be computed warm from a policy checkpoint.
+SCHEMA_VERSION = 2
 
 DEFAULT_ROOT = Path(".repro-cache")
 
@@ -36,27 +38,79 @@ def content_key(request: dict) -> str:
     return hashlib.sha256(canonical_json(request).encode()).hexdigest()
 
 
-class ResultStore:
-    """File-backed cache mapping request content keys to result records."""
+class ContentAddressedStore:
+    """Shared mechanics of the on-disk content-keyed stores.
 
-    def __init__(self, root: str | Path = DEFAULT_ROOT) -> None:
+    Entries live at ``<root>/<key[:2]>/<key><suffix>``; subclasses pick
+    the suffix and the (de)serialization, and share the fan-out layout,
+    corrupt-entry disposal, counting, and clearing. All writers must be
+    atomic (temp file + rename) so entries are all-or-nothing.
+    """
+
+    suffix = ".json"
+
+    def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
 
     def path_for(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
+        return self.root / key[:2] / f"{key}{self.suffix}"
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        """Best-effort removal of an entry known to be corrupt."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob(f"*/*{self.suffix}"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob(f"*/*{self.suffix}"):
+            path.unlink()
+            removed += 1
+        for sub in self.root.iterdir():
+            if sub.is_dir() and not any(sub.iterdir()):
+                sub.rmdir()
+        return removed
+
+
+class ResultStore(ContentAddressedStore):
+    """File-backed cache mapping request content keys to result records."""
+
+    def __init__(self, root: str | Path = DEFAULT_ROOT) -> None:
+        super().__init__(root)
 
     def get(self, key: str) -> dict | None:
-        """Load a cached record, or None on miss (or a corrupt entry)."""
+        """Load a cached record, or None on miss.
+
+        A truncated or otherwise corrupt record (a worker killed before
+        the atomic rename completed, manual tampering, a record missing
+        its ``result``) is a miss too — and is deleted, so it cannot
+        keep shadowing the slot after the caller recomputes the cell.
+        """
         path = self.path_for(key)
         try:
             with path.open() as fh:
-                return json.load(fh)
+                record = json.load(fh)
         except FileNotFoundError:
             return None
-        except json.JSONDecodeError:
-            # A write died mid-flight (pre-atomic-rename crash or manual
-            # tampering); treat as a miss and let the caller recompute.
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
             return None
+        except OSError:  # unreadable (permissions, I/O error): miss, keep
+            return None
+        if not isinstance(record, dict) or "result" not in record:
+            self._discard(path)
+            return None
+        return record
 
     def put(self, key: str, request: dict, result: dict) -> Path:
         """Atomically persist a record; returns its path."""
@@ -75,21 +129,3 @@ class ResultStore:
                 pass
             raise
         return path
-
-    def __len__(self) -> int:
-        if not self.root.exists():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
-
-    def clear(self) -> int:
-        """Delete every record; returns how many were removed."""
-        removed = 0
-        if not self.root.exists():
-            return 0
-        for path in self.root.glob("*/*.json"):
-            path.unlink()
-            removed += 1
-        for sub in self.root.iterdir():
-            if sub.is_dir() and not any(sub.iterdir()):
-                sub.rmdir()
-        return removed

@@ -11,7 +11,7 @@ P(0%) and defaults to P(100%) here (the paper only bounds it below).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,7 @@ def test_flat_qnetwork_drives_broker_end_to_end():
     result = engine.run(jobs)
     assert result.metrics.n_completed == 40
     assert len(broker.loss_history) > 0  # the flat net actually trained
-    assert all(np.isfinite(l) for l in broker.loss_history)
+    assert all(np.isfinite(loss) for loss in broker.loss_history)
 
 
 def test_flat_clone_survives_runner_cloning():

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import LocalTierConfig, PredictorConfig
-from repro.core.local_tier import IDLE, RLPowerPolicy, WAKE_IDLE, WAKE_SLEEP
+from repro.core.local_tier import IDLE, RLPowerPolicy, WAKE_SLEEP
 from repro.sim.events import EventQueue
 from repro.sim.job import Job
 from repro.sim.power import PowerModel

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.harness.claims import ClaimReport, evaluate_claims
+from repro.harness.claims import evaluate_claims
 from repro.harness.table1 import Table1Row
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.baselines import FixedTimeoutPolicy, ImmediateSleepPolicy
+from repro.core.baselines import FixedTimeoutPolicy
 from repro.core.global_tier import DRLGlobalBroker
 from repro.harness.runner import (
     SYSTEM_NAMES,

@@ -12,8 +12,8 @@ class TestConstruction:
         assert ae.input_dim == 12
         assert ae.code_dim == 15
         # encoder: 12 -> 30 -> 15, decoder mirrors.
-        assert [l.out_features for l in ae.encoder.layers] == [30, 15]
-        assert [l.out_features for l in ae.decoder.layers] == [30, 12]
+        assert [layer.out_features for layer in ae.encoder.layers] == [30, 15]
+        assert [layer.out_features for layer in ae.decoder.layers] == [30, 12]
 
     def test_invalid_args(self, rng):
         with pytest.raises(ValueError):

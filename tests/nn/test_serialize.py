@@ -1,0 +1,100 @@
+"""Weight-blob round-trips: bit-identical restores, corrupt-blob errors."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PredictorConfig
+from repro.core.predictor import WorkloadPredictor
+from repro.core.qnetwork import HierarchicalQNetwork
+from repro.core.state import StateEncoder
+from repro.nn.serialize import load_states, save_states
+
+
+def _qnet(seed: int = 0) -> HierarchicalQNetwork:
+    encoder = StateEncoder(num_servers=6, num_resources=3, num_groups=2)
+    return HierarchicalQNetwork(
+        encoder,
+        autoencoder_hidden=(8, 4),
+        subq_hidden=(16,),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestSaveLoad:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        net = _qnet()
+        path = tmp_path / "blob.npz"
+        save_states(path, {"qnet": net.state_dict()}, {"schema": 1})
+        states, meta = load_states(path)
+        assert meta == {"schema": 1}
+        assert set(states) == {"qnet"}
+        original = net.state_dict()
+        assert set(states["qnet"]) == set(original)
+        for key, value in original.items():
+            assert np.array_equal(states["qnet"][key], value)
+            assert states["qnet"][key].dtype == value.dtype
+
+    def test_loaded_state_restores_identical_network(self, tmp_path):
+        net = _qnet(seed=3)
+        path = save_states(tmp_path / "q.npz", {"qnet": net.state_dict()})
+        states, _ = load_states(path)
+        twin = _qnet(seed=99)  # different init, then overwritten
+        twin.load_state_dict(states["qnet"])
+        x = np.random.default_rng(7).normal(size=(5, net.encoder.state_dim))
+        assert np.array_equal(net.predict(x), twin.predict(x))
+
+    def test_lstm_predictor_round_trip(self, tmp_path):
+        config = PredictorConfig(lookback=5, epochs=2)
+        predictor = WorkloadPredictor(config, rng=np.random.default_rng(1))
+        series = np.random.default_rng(2).uniform(5.0, 500.0, size=40)
+        predictor.fit(series)
+        path = save_states(
+            tmp_path / "p.npz", {"predictor": predictor.network.state_dict()}
+        )
+        states, _ = load_states(path)
+        twin = WorkloadPredictor(config, rng=np.random.default_rng(9))
+        twin.network.load_state_dict(states["predictor"])
+        twin.fitted = True
+        window = series[:5]
+        assert predictor.predict_seconds(window) == twin.predict_seconds(window)
+        for key, value in predictor.network.state_dict().items():
+            assert np.array_equal(states["predictor"][key], value)
+
+    def test_multiple_groups_in_one_blob(self, tmp_path):
+        a = {"0:w": np.arange(3.0)}
+        b = {"0:w": np.arange(4.0), "1:b": np.zeros(2)}
+        path = save_states(tmp_path / "m.npz", {"a": a, "b": b})
+        states, meta = load_states(path)
+        assert meta == {}
+        assert np.array_equal(states["a"]["0:w"], a["0:w"])
+        assert np.array_equal(states["b"]["1:b"], b["1:b"])
+
+
+class TestValidation:
+    def test_bad_group_name_rejected(self, tmp_path):
+        for name in ("", "a/b", "__meta__"):
+            with pytest.raises(ValueError):
+                save_states(tmp_path / "x.npz", {name: {"k": np.zeros(1)}})
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_states(tmp_path / "nope.npz")
+
+    def test_truncated_blob_raises(self, tmp_path):
+        path = save_states(tmp_path / "t.npz", {"g": {"k": np.arange(100.0)}})
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(Exception):
+            load_states(path)
+
+    def test_no_partial_file_on_failed_write(self, tmp_path, monkeypatch):
+        import repro.nn.serialize as serialize
+
+        def boom(fh, **arrays):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(serialize.np, "savez", boom)
+        with pytest.raises(RuntimeError):
+            save_states(tmp_path / "f.npz", {"g": {"k": np.zeros(1)}})
+        assert not (tmp_path / "f.npz").exists()
+        assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,207 @@
+"""Policy checkpoint store: round-trips, schema gating, warm systems."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PredictorConfig
+from repro.core.predictor import WorkloadPredictor
+from repro.nn.serialize import save_states
+from repro.scenarios.checkpoints import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointStore,
+    PolicyCheckpoint,
+    ensure_checkpoint,
+    restore_predictor,
+    restore_prototype,
+    train_policy,
+    training_request,
+    warm_scenario_system,
+)
+from repro.scenarios.specs import (
+    FleetSpec,
+    ScenarioSpec,
+    ServerClassSpec,
+    WorkloadSpec,
+)
+from repro.scenarios.store import content_key
+
+TINY = ScenarioSpec(
+    name="tiny-ckpt",
+    description="4-server checkpoint scenario",
+    fleet=FleetSpec(classes=(ServerClassSpec("standard", 4),)),
+    workload=WorkloadSpec(n_train_segments=1),
+)
+
+#: Fast training knobs: no offline pretrain, no online epochs — the
+#: checkpoint machinery is identical, only the weights stay at init.
+FAST = dict(n_jobs=60, seed=0, pretrain=False, online_epochs=0)
+
+
+@pytest.fixture(scope="module")
+def policy() -> PolicyCheckpoint:
+    return train_policy(TINY, with_predictor=False, **FAST)
+
+
+class TestTrainingKey:
+    def test_evaluation_knobs_do_not_change_the_key(self):
+        base = content_key(training_request(TINY, 60, 0))
+        assert base == content_key(training_request(TINY, 60, 0))
+        # record_every / local_epochs / system are absent by design.
+        request = training_request(TINY, 60, 0)
+        assert "record_every" not in request
+        assert "local_epochs" not in request
+        assert "system" not in request
+
+    def test_training_knobs_change_the_key(self):
+        base = content_key(training_request(TINY, 60, 0))
+        assert content_key(training_request(TINY, 70, 0)) != base
+        assert content_key(training_request(TINY, 60, 1)) != base
+        assert content_key(training_request(TINY, 60, 0, pretrain=False)) != base
+        assert content_key(training_request(TINY, 60, 0, online_epochs=2)) != base
+
+
+class TestStoreRoundTrip:
+    def test_qnet_weights_bit_identical(self, tmp_path, policy):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.put("k" * 64, policy)
+        loaded = store.get("k" * 64)
+        assert loaded is not None
+        assert loaded.epsilon == policy.epsilon
+        assert set(loaded.qnet_state) == set(policy.qnet_state)
+        for key, value in policy.qnet_state.items():
+            assert np.array_equal(loaded.qnet_state[key], value)
+        assert len(store) == 1
+
+    def test_lstm_weights_bit_identical(self, tmp_path):
+        # A hand-fitted predictor stands in for scenario-driven training
+        # (whose default config would make the test slow); the blob path
+        # is exactly the one train_policy uses.
+        predictor = WorkloadPredictor(
+            PredictorConfig(lookback=5, epochs=2), rng=np.random.default_rng(0)
+        )
+        predictor.fit(np.random.default_rng(1).uniform(5.0, 500.0, size=30))
+        policy = PolicyCheckpoint(
+            qnet_state={"0:w": np.arange(3.0)},
+            epsilon=0.05,
+            predictor_state=predictor.network.state_dict(),
+            predictor_fitted=True,
+            predictor_attempted=True,
+        )
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.put("a" * 64, policy)
+        loaded = store.get("a" * 64, need_predictor=True)
+        assert loaded is not None
+        assert loaded.predictor_fitted
+        for key, value in policy.predictor_state.items():
+            assert np.array_equal(loaded.predictor_state[key], value)
+
+    def test_stale_schema_blob_is_ignored(self, tmp_path, policy):
+        store = CheckpointStore(tmp_path / "ckpt")
+        key = "b" * 64
+        store.put(key, policy)
+        # Rewrite the blob claiming a different schema version.
+        save_states(
+            store.path_for(key),
+            {"qnet": policy.qnet_state},
+            {"schema": CHECKPOINT_SCHEMA_VERSION + 1, "epsilon": 0.1},
+        )
+        assert store.get(key) is None
+        assert store.path_for(key).exists()  # ignored, not deleted
+
+    def test_corrupt_blob_is_deleted_miss(self, tmp_path, policy):
+        store = CheckpointStore(tmp_path / "ckpt")
+        key = "c" * 64
+        path = store.put(key, policy)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        assert store.get(key) is None
+        assert not path.exists()
+
+    def test_predictor_free_blob_misses_when_predictor_needed(
+        self, tmp_path, policy
+    ):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.put("d" * 64, policy)  # trained with_predictor=False
+        assert store.get("d" * 64) is not None
+        assert store.get("d" * 64, need_predictor=True) is None
+
+    def test_clear(self, tmp_path, policy):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.put("e" * 64, policy)
+        store.put("f" * 64, policy)
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestWarmSystems:
+    def test_restored_prototype_matches_trained_weights(self, policy):
+        config = TINY.experiment_config(seed=0)
+        broker = restore_prototype(policy, config, seed=123)
+        for key, value in broker.qnet.state_dict().items():
+            assert np.array_equal(policy.qnet_state[key], value)
+        assert broker.epsilon == policy.epsilon
+
+    def test_geometry_mismatch_raises(self, policy):
+        other = ScenarioSpec(
+            name="bigger",
+            description="different fleet",
+            fleet=FleetSpec(classes=(ServerClassSpec("standard", 8),)),
+        )
+        with pytest.raises(ValueError, match="geometry"):
+            restore_prototype(policy, other.experiment_config(seed=0), seed=0)
+
+    def test_predictor_required_but_absent_raises(self, policy):
+        config = TINY.experiment_config(seed=0)
+        with pytest.raises(ValueError, match="predictor"):
+            restore_predictor(policy, config, seed=0)
+
+    def test_warm_system_is_deterministic(self, policy):
+        a, jobs_a, _ = warm_scenario_system(
+            "drl-only", TINY, 60, policy, seed=0, local_epochs=0
+        )
+        b, jobs_b, _ = warm_scenario_system(
+            "drl-only", TINY, 60, policy, seed=0, local_epochs=0
+        )
+        assert [j.arrival_time for j in jobs_a] == [
+            j.arrival_time for j in jobs_b
+        ]
+        sa = a.broker.qnet.state_dict()
+        sb = b.broker.qnet.state_dict()
+        assert all(np.array_equal(sa[k], sb[k]) for k in sa)
+
+    def test_non_drl_system_rejected(self, policy):
+        with pytest.raises(ValueError):
+            warm_scenario_system("round-robin", TINY, 60, policy, seed=0)
+
+
+class TestShardedWarmStart:
+    def test_sharded_cell_accepts_checkpoint(self, policy):
+        from repro.scenarios.sharding import run_cell_sharded
+
+        cell = run_cell_sharded(
+            TINY, "drl-only", n_jobs=80, seed=0, shards=2, workers=1,
+            local_epochs=0, checkpoint=policy,
+        )
+        assert cell["shards"] == 2
+        assert cell["n_jobs_completed"] == cell["n_jobs_offered"] == 80
+
+
+class TestEnsureCheckpoint:
+    def test_trains_once_then_loads(self, tmp_path, monkeypatch):
+        store = CheckpointStore(tmp_path / "ckpt")
+        calls = []
+        import repro.scenarios.checkpoints as checkpoints
+
+        real = checkpoints.train_policy
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(checkpoints, "train_policy", counting)
+        first = ensure_checkpoint(store, TINY, with_predictor=False, **FAST)
+        second = ensure_checkpoint(store, TINY, with_predictor=False, **FAST)
+        assert len(calls) == 1
+        assert len(store) == 1
+        for key, value in first.qnet_state.items():
+            assert np.array_equal(second.qnet_state[key], value)

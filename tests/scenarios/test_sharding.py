@@ -1,6 +1,5 @@
 """Tests for repro.scenarios.sharding: single-cell trace sharding."""
 
-import numpy as np
 import pytest
 
 from repro.scenarios.orchestrator import run_cell

@@ -33,12 +33,45 @@ class TestResultStore:
         store.put(content_key({"seed": 0}), {"seed": 0}, {"v": 1})
         assert store.get(content_key({"seed": 1})) is None
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_is_deleted(self, tmp_path):
         store = ResultStore(tmp_path / "cache")
         key = content_key({"seed": 0})
         store.put(key, {"seed": 0}, {"v": 1})
         store.path_for(key).write_text("{not json")
         assert store.get(key) is None
+        # The corrupt record is gone: it can't shadow a future recompute.
+        assert not store.path_for(key).exists()
+        assert len(store) == 0
+
+    def test_truncated_record_from_killed_worker_is_healed(self, tmp_path):
+        """Regression: a mid-write kill used to leave a record that made
+        every subsequent sweep re-raise instead of recomputing."""
+        store = ResultStore(tmp_path / "cache")
+        key = content_key({"seed": 1})
+        path = store.put(key, {"seed": 1}, {"v": 1})
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # truncate, as SIGKILL would
+        assert store.get(key) is None
+        assert not path.exists()
+        # The slot works again after recomputation.
+        store.put(key, {"seed": 1}, {"v": 2})
+        assert store.get(key)["result"] == {"v": 2}
+
+    def test_non_dict_record_is_a_miss_and_is_deleted(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        key = content_key({"seed": 2})
+        store.put(key, {"seed": 2}, {"v": 1})
+        store.path_for(key).write_text('["valid json", "wrong shape"]')
+        assert store.get(key) is None
+        assert not store.path_for(key).exists()
+
+    def test_record_missing_result_is_a_miss_and_is_deleted(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        key = content_key({"seed": 3})
+        store.put(key, {"seed": 3}, {"v": 1})
+        store.path_for(key).write_text('{"request": {"seed": 3}}')
+        assert store.get(key) is None
+        assert not store.path_for(key).exists()
 
     def test_overwrite_and_clear(self, tmp_path):
         store = ResultStore(tmp_path / "cache")

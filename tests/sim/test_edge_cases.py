@@ -4,11 +4,10 @@ import pytest
 
 from repro.core.baselines import AlwaysOnPolicy, ImmediateSleepPolicy, RoundRobinBroker
 from repro.sim.engine import build_simulation
-from repro.sim.events import EventQueue
 from repro.sim.interfaces import PowerPolicy
 from repro.sim.job import Job
 from repro.sim.power import PowerModel
-from repro.sim.server import PowerState, Server
+from repro.sim.server import PowerState
 
 
 def job(jid, arrival, duration=10.0, cpu=0.5):

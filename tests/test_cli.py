@@ -53,6 +53,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenario"])
 
+    def test_sweep_resume_and_warm_start_flags(self):
+        args = build_parser().parse_args(
+            ["scenario", "sweep", "--resume", "--no-warm-start",
+             "--series-out", "series.csv"]
+        )
+        assert args.resume and args.no_warm_start
+        assert str(args.series_out) == "series.csv"
+        args = build_parser().parse_args(["scenario", "sweep"])
+        assert not args.resume and not args.no_warm_start
+        assert args.series_out is None
+
+    def test_run_warm_flag(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "--name", "paper-default", "--warm"]
+        )
+        assert args.warm
+        assert str(args.cache_dir) == ".repro-cache"
+
 
 class TestExecution:
     def test_workload_prints_characterization(self, capsys, tmp_path):
@@ -106,6 +124,30 @@ class TestExecution:
         assert rc == 0
         second = capsys.readouterr().out
         assert "2 cached, 0 computed" in second
+
+    def test_sweep_resume_conflicts_with_force(self, capsys):
+        rc = main(["scenario", "sweep", "--resume", "--force"])
+        assert rc == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_sweep_resume_requires_a_journal(self, capsys, tmp_path):
+        rc = main(["scenario", "sweep", "--resume",
+                   "--cache-dir", str(tmp_path / "empty")])
+        assert rc == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_sweep_series_out(self, capsys, tmp_path):
+        series = tmp_path / "series.csv"
+        rc = main(["scenario", "sweep", "--scenarios", "paper-default",
+                   "--systems", "round-robin", "--jobs", "60",
+                   "--workers", "1", "--cache-dir", str(tmp_path / "cache"),
+                   "--series-out", str(series)])
+        assert rc == 0
+        text = series.read_text()
+        assert text.startswith("scenario,system,series,n_jobs,value,n_seeds")
+        assert "paper-default,round-robin,latency," in text
+        assert "paper-default,round-robin,energy," in text
 
     @pytest.mark.slow
     def test_table1_tiny_run(self, capsys):

@@ -1,6 +1,5 @@
 """Tests for repro.workload.trace."""
 
-import numpy as np
 import pytest
 
 from repro.sim.job import Job
