@@ -11,6 +11,7 @@ Usage::
     python -m repro scenario list
     python -m repro scenario run   --name NAME [--system SYS] [--jobs N]
                                    [--shards S] [--workers W] [--warm]
+                                   [--trace CSV...]
     python -m repro scenario sweep [--scenarios a,b] [--systems x,y]
                                    [--seeds 0,1] [--jobs N] [--workers W]
                                    [--resume] [--no-warm-start]
@@ -25,7 +26,10 @@ the (scenario × system × seed) grid out over a process pool, journals
 each completed cell under ``.repro-cache/`` as it finishes (so a killed
 sweep resumes with ``--resume``), trains each scenario's DRL policy once
 and warm-starts its cells from the checkpoint blob, and can emit the
-Fig-8-style per-system series with ``--series-out``.
+Fig-8-style per-system series (including cost/CO₂ when the scenario has
+a tariff) with ``--series-out``. ``scenario run --trace`` replays
+recorded Google task-events files through any scenario; unsharded runs
+journal their result exactly like a sweep cell would.
 """
 
 from __future__ import annotations
@@ -138,20 +142,52 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
     if args.action == "run":
         import inspect
+        from dataclasses import replace as dc_replace
 
-        from repro.harness.runner import make_system
+        from repro.scenarios.orchestrator import run_cell
         from repro.scenarios.sharding import run_cell_sharded
 
         def _default(fn, param: str):
             return inspect.signature(fn).parameters[param].default
 
-        spec = registry.get(args.name)
+        name = args.name if args.name is not None else args.scenario
+        if name is None or (
+            args.name is not None
+            and args.scenario is not None
+            and args.name != args.scenario
+        ):
+            print("error: scenario run needs exactly one scenario name "
+                  "(positional or --name)", file=sys.stderr)
+            return 2
+        spec = registry.get(name)
+        if args.trace:
+            from repro.scenarios.specs import TraceReplaySpec, WorkloadSpec
+
+            # Point any scenario at recorded trace files: reuse the
+            # scenario's replay policy (window/compression/split) when it
+            # has one, else replay with the defaults. The rest of the
+            # workload recipe is dropped — the recording is the workload
+            # — keeping only the train/eval sizing knobs.
+            base = spec.workload.replay
+            replay = (
+                dc_replace(base, paths=tuple(args.trace))
+                if base is not None
+                else TraceReplaySpec(paths=tuple(args.trace))
+            )
+            spec = dc_replace(
+                spec,
+                workload=WorkloadSpec(
+                    replay=replay,
+                    train_fraction=spec.workload.train_fraction,
+                    n_train_segments=spec.workload.n_train_segments,
+                ),
+            )
         checkpoint = None
         # The warm path must train exactly what the cold path would, so
         # read the protocol off the callee each branch actually uses:
-        # sharded runs follow run_cell_sharded's defaults, unsharded runs
-        # follow make_system's.
-        cold = run_cell_sharded if args.shards > 1 else make_system
+        # both follow run_cell's defaults (run and sweep cells share
+        # cache slots, so they must share the protocol too).
+        cold = run_cell_sharded if args.shards > 1 else run_cell
         online_epochs = _default(cold, "online_epochs")
         local_epochs = _default(cold, "local_epochs")
         if args.warm:
@@ -177,43 +213,47 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 shards=args.shards, workers=args.workers,
                 checkpoint=checkpoint,
             )
-            lines = [
-                f"scenario: {spec.name} ({spec.description})",
-                f"system: {args.system}  servers: {cell['num_servers']}  "
-                f"jobs: {cell['n_jobs_completed']}  "
+            extra = (
                 f"shards: {cell['shards']} on {cell['workers_used']} workers  "
-                f"churn events: {cell['capacity_events']}",
-                f"energy: {cell['energy_kwh']:.2f} kWh  "
-                f"latency: {cell['acc_latency_s'] / 1e6:.3f}e6 s  "
-                f"mean latency: {cell['mean_latency_s']:.1f} s  "
-                f"power: {cell['average_power_w']:.2f} W",
-            ]
-            _emit("\n".join(lines), args.out)
-            return 0
-
-        from repro.harness.runner import make_scenario_system, run_system
-
-        if checkpoint is not None:
-            from repro.scenarios.checkpoints import warm_scenario_system
-
-            system, eval_jobs, events = warm_scenario_system(
-                args.system, spec, args.jobs, checkpoint, seed=args.seed,
-                local_epochs=local_epochs,
             )
         else:
-            system, eval_jobs, events = make_scenario_system(
-                args.system, args.name, n_jobs=args.jobs, seed=args.seed
+            cell = run_cell(
+                spec, args.system, n_jobs=args.jobs, seed=args.seed,
+                checkpoint=checkpoint,
             )
-        result = run_system(system, eval_jobs, capacity_events=events)
+            extra = ""
+            # Journal the cell exactly as a sweep would, so later sweeps
+            # (and --resume) reuse it as a cache hit. Sharded results
+            # stay out of the store: they are a documented approximation
+            # of the unsharded cell, not the same experiment.
+            from repro.scenarios.orchestrator import SweepCell, journal_cell_result
+            from repro.scenarios.store import ResultStore
+
+            path = journal_cell_result(
+                ResultStore(args.cache_dir),
+                SweepCell(spec, args.system, args.seed),
+                cell,
+                n_jobs=args.jobs,
+                online_epochs=online_epochs,
+                local_epochs=local_epochs,
+                warm_start=checkpoint is not None,
+            )
+            print(f"# journaled {path}", file=sys.stderr)
         lines = [
             f"scenario: {spec.name} ({spec.description})",
-            f"system: {args.system}  servers: {result.num_servers}  "
-            f"jobs: {result.n_jobs}  churn events: {len(events)}",
-            f"energy: {result.energy_kwh:.2f} kWh  "
-            f"latency: {result.acc_latency_1e6:.3f}e6 s  "
-            f"mean latency: {result.mean_latency:.1f} s  "
-            f"power: {result.average_power:.2f} W",
+            f"system: {args.system}  servers: {cell['num_servers']}  "
+            f"jobs: {cell['n_jobs_completed']}  {extra}"
+            f"churn events: {cell['capacity_events']}",
+            f"energy: {cell['energy_kwh']:.2f} kWh  "
+            f"latency: {cell['acc_latency_s'] / 1e6:.3f}e6 s  "
+            f"mean latency: {cell['mean_latency_s']:.1f} s  "
+            f"power: {cell['average_power_w']:.2f} W",
         ]
+        if spec.tariff is not None:
+            lines.append(
+                f"electricity: ${cell.get('cost_usd', 0.0):.2f}  "
+                f"CO2: {cell.get('co2_kg', 0.0):.2f} kg"
+            )
         _emit("\n".join(lines), args.out)
         return 0
 
@@ -300,9 +340,16 @@ def build_parser() -> argparse.ArgumentParser:
     sc_list.add_argument("--out", type=Path, default=None)
 
     sc_run = sc_sub.add_parser("run", help="run one scenario × system cell")
-    sc_run.add_argument("--name", required=True, help="scenario name")
+    sc_run.add_argument("scenario", nargs="?", default=None, metavar="NAME",
+                        help="scenario name (positional form of --name)")
+    sc_run.add_argument("--name", default=None, help="scenario name")
     sc_run.add_argument("--system", default="round-robin",
                         help="named system (default round-robin)")
+    sc_run.add_argument("--trace", nargs="+", default=None, metavar="CSV",
+                        help="replay these trace files/globs instead of the "
+                             "scenario's workload (Google task-events format "
+                             "unless the scenario's replay spec says "
+                             "otherwise); e.g. real cluster-usage part files")
     sc_run.add_argument("--shards", type=int, default=1,
                         help="split the evaluation trace into this many "
                              "warm-handoff segments run in parallel "

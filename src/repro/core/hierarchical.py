@@ -30,6 +30,7 @@ from repro.sim.churn import CapacityEvent
 from repro.sim.engine import ClusterEngine, build_simulation
 from repro.sim.interfaces import Broker, PowerPolicy
 from repro.sim.job import Job
+from repro.sim.power import TariffModel
 
 
 @dataclass
@@ -48,6 +49,7 @@ class HierarchicalSystem:
         record_every: int | None = None,
         keep_jobs: bool = False,
         capacity_events: tuple[CapacityEvent, ...] = (),
+        tariff: "TariffModel | None" = None,
     ) -> ClusterEngine:
         """Construct a simulation engine around this system."""
         return build_simulation(
@@ -61,6 +63,7 @@ class HierarchicalSystem:
             record_every=record_every if record_every is not None else self.config.record_every,
             keep_jobs=keep_jobs,
             capacity_events=capacity_events,
+            tariff=tariff,
         )
 
     def run(
@@ -69,9 +72,12 @@ class HierarchicalSystem:
         record_every: int | None = None,
         keep_jobs: bool = False,
         capacity_events: tuple[CapacityEvent, ...] = (),
+        tariff: "TariffModel | None" = None,
     ):
         """Convenience: build an engine and run the trace."""
-        return self.build_engine(record_every, keep_jobs, capacity_events).run(jobs)
+        return self.build_engine(
+            record_every, keep_jobs, capacity_events, tariff=tariff
+        ).run(jobs)
 
     def freeze(self) -> None:
         """Put every learning component into greedy evaluation mode."""

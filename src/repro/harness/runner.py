@@ -56,6 +56,7 @@ from repro.core.hierarchical import (
 from repro.core.predictor import WorkloadPredictor
 from repro.sim.churn import CapacityEvent
 from repro.sim.job import Job
+from repro.sim.power import TariffModel
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
     from repro.scenarios.specs import ScenarioSpec
@@ -100,6 +101,11 @@ class RunResult:
     final_time: float
     latency_series: tuple[tuple[int, float], ...]
     energy_series: tuple[tuple[int, float], ...]
+    # Electricity-aware extensions (zero / empty without a tariff).
+    cost_usd: float = 0.0
+    co2_kg: float = 0.0
+    cost_series: tuple[tuple[int, float], ...] = ()
+    co2_series: tuple[tuple[int, float], ...] = ()
 
     @property
     def acc_latency_1e6(self) -> float:
@@ -119,16 +125,21 @@ def run_system(
     jobs: list[Job],
     record_every: int = 200,
     capacity_events: tuple[CapacityEvent, ...] = (),
+    tariff: "TariffModel | None" = None,
 ) -> RunResult:
     """Evaluate a (possibly trained) system on a fresh copy of a trace.
 
     ``capacity_events`` schedules churn (failures / maintenance drains)
-    into the evaluation run; training runs are never churned.
+    into the evaluation run; training runs are never churned. ``tariff``
+    attaches a price/carbon signal so the result carries cost and CO₂
+    alongside energy (training is always tariff-blind — electricity
+    accounting is an evaluation-side lens, not a reward term).
     """
     result = system.run(
         [job.copy() for job in jobs],
         record_every=record_every,
         capacity_events=capacity_events,
+        tariff=tariff,
     )
     metrics = result.metrics
     return RunResult(
@@ -142,6 +153,10 @@ def run_system(
         final_time=result.final_time,
         latency_series=tuple(metrics.latency_series()),
         energy_series=tuple(metrics.energy_series()),
+        cost_usd=metrics.total_cost_usd(),
+        co2_kg=metrics.total_co2_kg(),
+        cost_series=tuple(metrics.cost_series()),
+        co2_series=tuple(metrics.co2_series()),
     )
 
 

@@ -10,8 +10,10 @@ package turns the reproduction into a *scenario machine*:
   :class:`ScenarioSpec`.
 * :mod:`repro.scenarios.registry` — named scenario lookup; import-safe
   registration of user scenarios alongside the builtins.
-* :mod:`repro.scenarios.builtin` — the six stock scenarios, from
-  ``paper-default`` to a churning fleet and a two-tenant mix.
+* :mod:`repro.scenarios.builtin` — the ten stock scenarios, from
+  ``paper-default`` to Google-trace replay (``google-replay``),
+  electricity-aware runs (``carbon-aware-diurnal``, ``tou-price-shift``)
+  and a coincident-peak tenant fleet (``correlated-fleet``).
 * :mod:`repro.scenarios.store` — content-keyed JSON result cache under
   ``.repro-cache/`` so repeated sweeps return instantly.
 * :mod:`repro.scenarios.orchestrator` — fans a (scenario × system ×
@@ -59,6 +61,7 @@ from repro.scenarios.specs import (
     JobClassSpec,
     ScenarioSpec,
     ServerClassSpec,
+    TraceReplaySpec,
     WorkloadSpec,
 )
 from repro.scenarios.store import ResultStore
@@ -90,6 +93,7 @@ __all__ = [
     "PolicyCheckpoint",
     "ScenarioSpec",
     "ServerClassSpec",
+    "TraceReplaySpec",
     "WorkloadSpec",
     "ResultStore",
     "ensure_checkpoint",

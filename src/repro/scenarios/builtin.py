@@ -1,21 +1,24 @@
 """The builtin scenario suite.
 
-Six scenarios spanning the axes the ROADMAP cares about: the paper's
+Ten scenarios spanning the axes the ROADMAP cares about: the paper's
 own setup, stronger diurnal swings, flash crowds, a mixed-efficiency
-fleet, rolling maintenance churn, and a high-load two-tenant mix. Each
-is a pure parameterization of :class:`~repro.scenarios.specs.ScenarioSpec`;
+fleet, rolling maintenance churn, a high-load two-tenant mix, real
+Google-trace replay, carbon- and price-aware electricity accounting,
+and a correlated (coincident-peak) tenant fleet. Each is a pure
+parameterization of :class:`~repro.scenarios.specs.ScenarioSpec`;
 importing this module registers all of them.
 
 Workload parameters deliberately stay within the generator's calibrated
 envelope (durations clipped to [1 min, 2 h], Beta resource demands) so
 every scenario remains a plausible Google-like segment rather than a
 synthetic stress toy — except where the scenario's entire point is
-stress (``flash-crowd``, ``tenant-mix``).
+stress (``flash-crowd``, ``tenant-mix``, ``correlated-fleet``).
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
+from pathlib import Path
 
 from repro.scenarios.registry import register
 from repro.scenarios.specs import (
@@ -24,10 +27,11 @@ from repro.scenarios.specs import (
     JobClassSpec,
     ScenarioSpec,
     ServerClassSpec,
+    TraceReplaySpec,
     WorkloadSpec,
     rolling_maintenance,
 )
-from repro.sim.power import PowerModel
+from repro.sim.power import PowerModel, TariffModel
 from repro.workload.synthetic import SyntheticTraceConfig
 
 _BASE = SyntheticTraceConfig()
@@ -152,7 +156,106 @@ TENANT_MIX = register(
     )
 )
 
-#: The six stock scenarios, in catalog order.
+#: Bundled Google-format fixture. Anchored to the repository this module
+#: lives in (not the cwd) so the default ``google-replay`` scenario — and
+#: therefore a default ``scenario sweep`` over every registered scenario —
+#: works from any working directory; the cwd-relative spelling is kept as
+#: a fallback for installed copies run from a source checkout.
+#: ``scenario run --trace`` points the same scenario at real
+#: cluster-usage part files.
+_FIXTURE_RELATIVE = "tests/fixtures/google_task_events_small.csv"
+_FIXTURE_IN_REPO = Path(__file__).resolve().parents[3] / _FIXTURE_RELATIVE
+FIXTURE_TRACE = (
+    str(_FIXTURE_IN_REPO) if _FIXTURE_IN_REPO.exists() else _FIXTURE_RELATIVE
+)
+
+GOOGLE_REPLAY = register(
+    ScenarioSpec(
+        name="google-replay",
+        description="Replay Google task-events CSVs (bundled fixture; --trace swaps in real files)",
+        workload=WorkloadSpec(
+            replay=TraceReplaySpec(paths=(FIXTURE_TRACE,)),
+            train_fraction=0.5,
+            n_train_segments=1,
+        ),
+        tariff=TariffModel(),  # flat tariff: cost/CO₂ series track energy
+    )
+)
+
+#: A stylized grid-intensity day: clean overnight wind, a midday solar
+#: dip, and a dirty evening ramp (values bracket typical gCO₂/kWh mixes).
+CARBON_CURVE = (
+    (0.0, 6 * 3600.0, 180.0),
+    (11 * 3600.0, 15 * 3600.0, 240.0),
+    (17 * 3600.0, 22 * 3600.0, 540.0),
+)
+
+CARBON_AWARE_DIURNAL = register(
+    ScenarioSpec(
+        name="carbon-aware-diurnal",
+        description="Diurnal swing against a daily grid carbon curve (clean nights, dirty evening ramp)",
+        workload=WorkloadSpec(
+            classes=(
+                JobClassSpec(
+                    "diurnal",
+                    1.0,
+                    replace(_BASE, diurnal_amplitude=0.7, burst_rate_multiplier=2.0),
+                ),
+            ),
+        ),
+        tariff=TariffModel(carbon=420.0, carbon_windows=CARBON_CURVE),
+    )
+)
+
+TOU_PRICE_SHIFT = register(
+    ScenarioSpec(
+        name="tou-price-shift",
+        description="Time-of-use pricing: 4x peak tariff 16-21h over the paper's workload",
+        tariff=TariffModel.time_of_use(
+            peak_start_hour=16.0,
+            peak_end_hour=21.0,
+            peak_price=0.32,
+            offpeak_price=0.08,
+        ),
+    )
+)
+
+CORRELATED_FLEET = register(
+    ScenarioSpec(
+        name="correlated-fleet",
+        description="Two bursty tenants fully burst-coupled: every peak lands on the same minutes",
+        workload=WorkloadSpec(
+            classes=(
+                JobClassSpec(
+                    "region-a",
+                    0.5,
+                    replace(
+                        _BASE,
+                        diurnal_amplitude=0.5,
+                        burst_rate_multiplier=4.0,
+                        burst_on_mean=900.0,
+                    ),
+                ),
+                JobClassSpec(
+                    "region-b",
+                    0.5,
+                    replace(
+                        _BASE,
+                        diurnal_amplitude=0.5,
+                        burst_rate_multiplier=4.0,
+                        burst_on_mean=900.0,
+                        duration_median=450.0,
+                        cpu_scale=0.6,
+                    ),
+                ),
+            ),
+            burst_coupling=1.0,
+            rate_scale=1.1,
+        ),
+    )
+)
+
+#: The ten stock scenarios, in catalog order.
 BUILTIN_SCENARIOS = (
     PAPER_DEFAULT,
     DIURNAL_HEAVY,
@@ -160,4 +263,8 @@ BUILTIN_SCENARIOS = (
     HETERO_FLEET,
     MAINTENANCE_CHURN,
     TENANT_MIX,
+    GOOGLE_REPLAY,
+    CARBON_AWARE_DIURNAL,
+    TOU_PRICE_SHIFT,
+    CORRELATED_FLEET,
 )

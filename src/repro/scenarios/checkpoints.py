@@ -67,10 +67,17 @@ def training_request(
     Contains everything that shapes the trained weights — and nothing
     else, so evaluation-only knobs never invalidate a checkpoint. Note
     ``n_jobs`` *is* training-relevant: training segments are sized from
-    the evaluation trace length.
+    the evaluation trace length. The scenario's tariff is stripped:
+    electricity accounting is an evaluation-side lens over the same
+    joules (training rewards never see prices), so two scenarios
+    differing only in tariff share one policy — while a trace-replay
+    workload *does* change the key (different training segments) and can
+    never collide with a synthetic scenario's checkpoints.
     """
+    scenario = spec.content_dict()
+    scenario.pop("tariff", None)
     return {
-        "scenario": spec.content_dict(),
+        "scenario": scenario,
         "seed": seed,
         "n_jobs": n_jobs,
         "pretrain": pretrain,

@@ -142,7 +142,11 @@ def run_cell(
             local_epochs=local_epochs,
         )
     result = run_system(
-        built, eval_jobs, record_every=record_every, capacity_events=events
+        built,
+        eval_jobs,
+        record_every=record_every,
+        capacity_events=events,
+        tariff=spec.tariff,
     )
     return {
         "scenario": spec.name,
@@ -158,12 +162,44 @@ def run_cell(
         "energy_per_job_wh": result.energy_per_job_wh,
         "final_time_s": result.final_time,
         "capacity_events": len(events),
-        # Fig-8-style panels: accumulated latency / energy vs completed
-        # jobs. Lists (not tuples) so computed and JSON-reloaded results
-        # compare equal.
+        # Electricity account (zero without a scenario tariff).
+        "cost_usd": result.cost_usd,
+        "co2_kg": result.co2_kg,
+        # Fig-8-style panels: accumulated latency / energy / cost / CO₂
+        # vs completed jobs. Lists (not tuples) so computed and
+        # JSON-reloaded results compare equal.
         "latency_series": [[int(n), float(v)] for n, v in result.latency_series],
         "energy_series": [[int(n), float(v)] for n, v in result.energy_series],
+        "cost_series": [[int(n), float(v)] for n, v in result.cost_series],
+        "co2_series": [[int(n), float(v)] for n, v in result.co2_series],
     }
+
+
+def journal_cell_result(
+    store: ResultStore,
+    cell: SweepCell,
+    result: dict,
+    n_jobs: int,
+    record_every: int = 200,
+    pretrain: bool = True,
+    online_epochs: int = 1,
+    local_epochs: int = 1,
+    warm_start: bool = False,
+):
+    """Journal one computed cell under the key a sweep would use.
+
+    The single entry point for out-of-sweep journaling (``scenario
+    run``): it builds the request from the same :func:`_protocol_dict`
+    and :func:`cell_request` primitives the sweep keys with — protocol
+    defaults mirror :func:`run_cell`'s — so a journaled one-off cell is
+    always a cache hit for the sweep covering the same point. Returns
+    the record's path.
+    """
+    protocol = _protocol_dict(
+        n_jobs, record_every, pretrain, online_epochs, local_epochs
+    )
+    request = cell_request(cell, protocol, warm_start)
+    return store.put(content_key(request), request, result)
 
 
 def _execute_cell(args: tuple) -> dict:
@@ -557,6 +593,10 @@ def aggregate_rows(results: Sequence[dict]) -> list[dict]:
                 "acc_latency_1e6_s": sum(r["acc_latency_s"] for r in bucket) / n / 1e6,
                 "mean_latency_s": sum(r["mean_latency_s"] for r in bucket) / n,
                 "average_power_w": sum(r["average_power_w"] for r in bucket) / n,
+                # .get(): rows synthesized by tests (or pre-v3 records fed
+                # in directly) may lack the electricity account.
+                "cost_usd": sum(r.get("cost_usd", 0.0) for r in bucket) / n,
+                "co2_kg": sum(r.get("co2_kg", 0.0) for r in bucket) / n,
             }
         )
     return rows
@@ -576,7 +616,7 @@ def aggregate_series_rows(results: Sequence[dict]) -> list[dict]:
         groups.setdefault((result["scenario"], result["system"]), []).append(result)
     rows: list[dict] = []
     for (scenario, system), bucket in groups.items():
-        for series in ("latency", "energy"):
+        for series in ("latency", "energy", "cost", "co2"):
             per_seed = [r.get(f"{series}_series") or [] for r in bucket]
             n_points = min((len(s) for s in per_seed), default=0)
             for p in range(n_points):
@@ -602,6 +642,8 @@ _SWEEP_HEADERS = [
     "Latency (1e6 s)",
     "Mean lat (s)",
     "Power (W)",
+    "Cost ($)",
+    "CO2 (kg)",
 ]
 
 
@@ -615,6 +657,8 @@ def _sweep_cells(row: dict) -> list:
         f"{row['acc_latency_1e6_s']:.3f}",
         f"{row['mean_latency_s']:.1f}",
         f"{row['average_power_w']:.2f}",
+        f"{row['cost_usd']:.2f}",
+        f"{row['co2_kg']:.2f}",
     ]
 
 
@@ -634,6 +678,8 @@ def render_sweep_csv(rows: Sequence[dict]) -> str:
         "acc_latency_1e6_s",
         "mean_latency_s",
         "average_power_w",
+        "cost_usd",
+        "co2_kg",
     ]
     return format_csv(headers, [[row[h] for h in headers] for row in rows])
 

@@ -115,9 +115,13 @@ def _run_shard(args: tuple) -> dict:
     """Process-pool entry point: evaluate one warm system copy on a shard."""
     from repro.harness.runner import run_system
 
-    system, shard_jobs, shard_events, record_every = args
+    system, shard_jobs, shard_events, record_every, tariff = args
     result = run_system(
-        system, shard_jobs, record_every=record_every, capacity_events=shard_events
+        system,
+        shard_jobs,
+        record_every=record_every,
+        capacity_events=shard_events,
+        tariff=tariff,
     )
     return {
         "n_jobs_offered": len(shard_jobs),
@@ -126,6 +130,8 @@ def _run_shard(args: tuple) -> dict:
         "acc_latency_s": result.acc_latency,
         "final_time_s": result.final_time,
         "capacity_events": len(shard_events),
+        "cost_usd": result.cost_usd,
+        "co2_kg": result.co2_kg,
     }
 
 
@@ -152,6 +158,8 @@ def combine_shard_metrics(shard_results: list[dict]) -> dict:
         "energy_per_job_wh": energy_kwh * 1000.0 / completed if completed else 0.0,
         "final_time_s": span,
         "capacity_events": sum(r["capacity_events"] for r in shard_results),
+        "cost_usd": sum(r.get("cost_usd", 0.0) for r in shard_results),
+        "co2_kg": sum(r.get("co2_kg", 0.0) for r in shard_results),
         "shards": len(shard_results),
     }
 
@@ -218,9 +226,17 @@ def run_cell_sharded(
     built.freeze()  # the warm handoff ships one fixed controller snapshot
     segments, starts = shard_trace(eval_jobs, shards)
     shard_events = shard_capacity_events(events, starts)
+    # Shards run in shard-local time; shift the tariff so each still
+    # reads prices/carbon at its absolute experiment time.
     tasks = [
-        (built, seg, evts, record_every)
-        for seg, evts in zip(segments, shard_events)
+        (
+            built,
+            seg,
+            evts,
+            record_every,
+            spec.tariff.shifted(start) if spec.tariff is not None else None,
+        )
+        for seg, evts, start in zip(segments, shard_events, starts)
     ]
 
     n_workers = _pool_workers(workers, len(tasks))

@@ -16,7 +16,9 @@ smaller test fleets are fed proportionally lighter load.
 
 from __future__ import annotations
 
+import glob as globlib
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -24,9 +26,11 @@ from repro.core.config import ExperimentConfig, GlobalTierConfig
 from repro.scenarios.store import content_key
 from repro.sim.churn import CapacityEvent
 from repro.sim.job import Job
-from repro.sim.power import PowerModel
-from repro.workload.mixtures import generate_mixture
+from repro.sim.power import PowerModel, TariffModel
+from repro.workload.mixtures import generate_correlated_mixture, generate_mixture
+from repro.workload.segments import rebase
 from repro.workload.synthetic import SyntheticTraceConfig, reference_rate
+from repro.workload.trace import read_google_task_events, read_trace_csv
 
 
 def groups_for(num_servers: int) -> int:
@@ -73,6 +77,300 @@ class FlashCrowdSpec:
             )
 
 
+def _resolve_trace_paths(paths: tuple[str, ...]) -> list[Path]:
+    """Expand files/globs (matches sorted lexically, so shards stay ordered).
+
+    Raises
+    ------
+    ValueError
+        If a glob pattern matches nothing.
+    FileNotFoundError
+        If a literal path does not exist.
+    """
+    resolved: list[Path] = []
+    for pattern in paths:
+        matches = sorted(globlib.glob(pattern))
+        if matches:
+            resolved.extend(Path(m) for m in matches)
+        elif globlib.has_magic(pattern):
+            raise ValueError(f"trace glob {pattern!r} matched no files")
+        elif Path(pattern).exists():
+            resolved.append(Path(pattern))
+        else:
+            raise FileNotFoundError(f"trace file {pattern!r} does not exist")
+    return resolved
+
+
+def _trace_fingerprints(
+    paths: tuple[str, ...],
+) -> tuple[tuple[str, int | None, int | None], ...]:
+    """``(path, size, mtime_ns)`` per resolved file — the data's identity.
+
+    Folded into replay content keys (and the parse cache key) so editing
+    or replacing a trace file invalidates exactly the results computed
+    from the old contents, keeping the store's never-serve-stale
+    invariant. Unresolvable patterns fingerprint as ``(pattern, None,
+    None)`` — key construction must stay usable for specs whose files
+    only exist on the machine that runs them.
+    """
+    fingerprints: list[tuple[str, int | None, int | None]] = []
+    try:
+        resolved = _resolve_trace_paths(paths)
+    except (OSError, ValueError):
+        return tuple((pattern, None, None) for pattern in paths)
+    for path in resolved:
+        try:
+            stat = path.stat()
+            fingerprints.append((str(path), stat.st_size, stat.st_mtime_ns))
+        except OSError:  # pragma: no cover - raced deletion
+            fingerprints.append((str(path), None, None))
+    return tuple(fingerprints)
+
+
+#: Parse cache: (paths, format, window) -> (file fingerprints, records).
+#: Keyed *without* the fingerprint so an edited file replaces its stale
+#: parse in place instead of pinning it; bounded so a long-lived process
+#: replaying many distinct file sets cannot hoard dead multi-hundred-MB
+#: parses.
+_REPLAY_CACHE: dict[tuple, tuple[tuple, tuple]] = {}
+_REPLAY_CACHE_MAX = 8
+
+
+def _load_replay_records(
+    paths: tuple[str, ...],
+    fmt: str,
+    min_duration: float,
+    max_duration: float,
+    fingerprints: tuple = (),
+) -> tuple[tuple[float, float, tuple[float, ...]], ...]:
+    """Parsed ``(arrival, duration, resources)`` rows, arrival-sorted,
+    cached per (file set, window).
+
+    Every worker process pays the parse once; the cache holds raw rows,
+    not :class:`Job` objects, so callers always get fresh jobs with no
+    shared runtime state. A hit is only served while ``fingerprints``
+    (size/mtime per file) still matches — a file edited while the
+    process lives is re-parsed, and its stale parse is dropped rather
+    than retained.
+    """
+    cache_key = (paths, fmt, min_duration, max_duration)
+    hit = _REPLAY_CACHE.get(cache_key)
+    if hit is not None and hit[0] == fingerprints:
+        return hit[1]
+    resolved = _resolve_trace_paths(paths)
+    if fmt == "google":
+        jobs = read_google_task_events(
+            resolved, min_duration=min_duration, max_duration=max_duration
+        )
+    else:
+        jobs = [
+            job
+            for path in resolved
+            for job in read_trace_csv(path)
+            if min_duration <= job.duration <= max_duration
+        ]
+        jobs.sort(key=lambda job: job.arrival_time)
+    records = tuple(
+        (job.arrival_time, job.duration, job.resources) for job in jobs
+    )
+    if cache_key not in _REPLAY_CACHE:  # refreshes replace in place
+        while len(_REPLAY_CACHE) >= _REPLAY_CACHE_MAX:
+            _REPLAY_CACHE.pop(next(iter(_REPLAY_CACHE)))  # oldest insertion
+    _REPLAY_CACHE[cache_key] = (fingerprints, records)
+    return records
+
+
+@dataclass(frozen=True)
+class TraceReplaySpec:
+    """Replay recorded trace files instead of generating synthetic load.
+
+    Parameters
+    ----------
+    paths:
+        Trace files or glob patterns (matches sorted lexically, so
+        ``part-*.csv`` shards replay in order).
+    format:
+        ``"google"`` — headerless Google cluster-usage *task events*
+        tables (SUBMIT/FINISH pairs, see
+        :func:`~repro.workload.trace.read_google_task_events`) — or
+        ``"canonical"`` — this library's
+        ``job_id,arrival_time,duration,cpu,mem,disk`` CSV.
+    min_duration, max_duration:
+        Keep jobs whose duration falls in this window (the paper keeps
+        1 min – 2 h).
+    time_compression:
+        Divide arrival times by this factor (> 1 packs a long recorded
+        span into a shorter, proportionally hotter experiment; durations
+        keep their physical length).
+    split:
+        Train/eval split policy. ``"head"``: training segments take the
+        oldest jobs, evaluation the window right after — train on the
+        past, evaluate on the future. ``"strided"``: jobs are dealt
+        across evaluation and training streams at a stride sized so the
+        evaluation picks thin the whole recording uniformly (training
+        segments thin at the same rate, covering roughly the leading
+        ``train_fraction`` of it).
+    """
+
+    paths: tuple[str, ...]
+    format: str = "google"
+    min_duration: float = 60.0
+    max_duration: float = 7_200.0
+    time_compression: float = 1.0
+    split: str = "head"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.paths, (str, Path)):  # a lone path is a common slip
+            object.__setattr__(self, "paths", (str(self.paths),))
+        else:
+            object.__setattr__(self, "paths", tuple(str(p) for p in self.paths))
+        if not self.paths:
+            raise ValueError("trace replay needs at least one path or glob")
+        if self.format not in ("google", "canonical"):
+            raise ValueError(
+                f"format must be 'google' or 'canonical', got {self.format!r}"
+            )
+        if self.min_duration <= 0 or self.max_duration < self.min_duration:
+            raise ValueError("need 0 < min_duration <= max_duration")
+        if self.time_compression <= 0:
+            raise ValueError(
+                f"time_compression must be positive, got {self.time_compression}"
+            )
+        if self.split not in ("head", "strided"):
+            raise ValueError(f"split must be 'head' or 'strided', got {self.split!r}")
+
+    def file_fingerprints(self) -> tuple[tuple[str, int | None, int | None], ...]:
+        """``(path, size, mtime_ns)`` of each resolved trace file.
+
+        The replayed *data's* identity: content keys embed it (see
+        :meth:`ScenarioSpec.content_dict`), so cached results can never
+        outlive the file contents they were computed from.
+        """
+        return _trace_fingerprints(self.paths)
+
+    def _records(self) -> tuple[tuple[float, float, tuple[float, ...]], ...]:
+        """Cached parsed rows; raises if the files hold no usable jobs."""
+        records = _load_replay_records(
+            self.paths,
+            self.format,
+            self.min_duration,
+            self.max_duration,
+            fingerprints=self.file_fingerprints(),
+        )
+        if not records:
+            raise ValueError(
+                f"trace replay: no usable jobs in {', '.join(self.paths)} "
+                f"(format={self.format!r}, duration window "
+                f"[{self.min_duration}, {self.max_duration}] s)"
+            )
+        return records
+
+    def load_jobs(self) -> list[Job]:
+        """All usable jobs, arrival-sorted, re-based, compression applied.
+
+        Raises
+        ------
+        ValueError
+            If the files parse to zero usable jobs (wrong format, all
+            durations outside the window, or a corrupt fixture).
+        """
+        records = self._records()
+        jobs = [
+            Job(
+                job_id=i,
+                arrival_time=arrival / self.time_compression,
+                duration=duration,
+                resources=res,
+            )
+            for i, (arrival, duration, res) in enumerate(records)
+        ]
+        return rebase(jobs)
+
+    def _split_ranges(
+        self, total: int, n_jobs: int, n_train_segments: int, train_fraction: float
+    ) -> tuple[range, list[range]]:
+        """Index ranges (over the arrival-sorted job list) per split policy.
+
+        The single source of the split arithmetic, shared by
+        :meth:`build` (which materializes jobs) and :meth:`eval_span`
+        (which only needs two arrival times), so the two can never
+        drift.
+        """
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be positive, got {n_jobs}")
+        eval_target = min(n_jobs, total)
+        if n_train_segments < 1:
+            return range(eval_target), []
+        if self.split == "strided":
+            # Stride so the evaluation picks thin the *whole* recording
+            # (never finer than one slot per stream), instead of biting
+            # off the head of a long trace.
+            stride = max(n_train_segments + 1, total // eval_target)
+            stream0 = range(0, total, stride)
+            eval_n = min(n_jobs, len(stream0))
+            per_segment = max(1, int(eval_n * train_fraction))
+            segments = [
+                range(j, total, stride)[:per_segment]
+                for j in range(1, n_train_segments + 1)
+            ]
+            return stream0[:eval_n], segments
+        # "head": train on the oldest jobs, evaluate right after.
+        per_segment = max(1, int(eval_target * train_fraction))
+        reserve = min(n_train_segments * per_segment, total // 2)
+        eval_n = min(n_jobs, total - reserve)
+        base, extra = divmod(reserve, n_train_segments)
+        segments, lo = [], 0
+        for i in range(n_train_segments):
+            hi = lo + base + (1 if i < extra else 0)
+            segments.append(range(lo, hi))
+            lo = hi
+        return range(reserve, reserve + eval_n), segments
+
+    def build(
+        self, n_jobs: int, n_train_segments: int, train_fraction: float
+    ) -> tuple[list[Job], list[list[Job]]]:
+        """Evaluation trace and training segments per the split policy.
+
+        ``n_jobs`` is an upper bound: a recording shorter than the
+        request replays in full (minus the training reservation) rather
+        than failing, so the same scenario drives smoke fixtures and
+        real multi-gigabyte traces. Training reserves at most half the
+        usable jobs; empty segments are dropped. Every returned stream
+        is re-based to t = 0 and renumbered.
+        """
+        jobs = self.load_jobs()
+        eval_range, segment_ranges = self._split_ranges(
+            len(jobs), n_jobs, n_train_segments, train_fraction
+        )
+        return (
+            rebase([jobs[i] for i in eval_range]),
+            [
+                rebase([jobs[i] for i in segment])
+                for segment in segment_ranges
+                if segment
+            ],
+        )
+
+    def eval_span(
+        self, n_jobs: int, n_train_segments: int, train_fraction: float
+    ) -> float:
+        """Arrival span (seconds) of the evaluation trace ``build`` yields.
+
+        Reads just two arrivals off the cached (already arrival-sorted)
+        parse — no :class:`Job` construction or re-sort — so callers can
+        ask for the horizon without paying a second full trace build.
+        """
+        records = self._records()
+        eval_range, _ = self._split_ranges(
+            len(records), n_jobs, n_train_segments, train_fraction
+        )
+        if not eval_range:
+            return 0.0
+        return (records[eval_range[-1]][0] - records[eval_range[0]][0]) / (
+            self.time_compression
+        )
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """Recipe for the evaluation trace and its training segments.
@@ -89,9 +387,23 @@ class WorkloadSpec:
         Load multiplier on the reference intensity (1.0 = the intensity
         the paper offers a 30-machine cluster).
     train_fraction:
-        Training-segment length relative to ``n_jobs`` (min 200 jobs).
+        Training-segment length relative to ``n_jobs`` (min 200 jobs for
+        synthetic workloads; replay is bounded by the recording).
     n_train_segments:
         Number of independent training segments.
+    burst_coupling:
+        When set (in [0, 1]), classes are generated *correlated*: one
+        shared diurnal phase and, to this degree, one shared burst
+        timeline (see
+        :func:`~repro.workload.mixtures.generate_correlated_mixture`).
+        None (the default) keeps classes fully independent.
+    replay:
+        Replay recorded trace files instead of synthesizing: the
+        :class:`TraceReplaySpec` supplies the evaluation trace and
+        training segments, and every generator knob above except
+        ``train_fraction`` / ``n_train_segments`` is ignored (and must
+        stay at its default — mixing replay with synthetic layers is
+        rejected).
     """
 
     classes: tuple[JobClassSpec, ...] = (JobClassSpec("default", 1.0),)
@@ -99,6 +411,8 @@ class WorkloadSpec:
     rate_scale: float = 1.0
     train_fraction: float = 0.5
     n_train_segments: int = 2
+    burst_coupling: float | None = None
+    replay: TraceReplaySpec | None = None
 
     def __post_init__(self) -> None:
         if not self.classes:
@@ -107,9 +421,43 @@ class WorkloadSpec:
             raise ValueError(f"rate_scale must be positive, got {self.rate_scale}")
         if self.n_train_segments < 0:
             raise ValueError("n_train_segments must be non-negative")
+        if self.burst_coupling is not None:
+            if not 0.0 <= self.burst_coupling <= 1.0:
+                raise ValueError(
+                    f"burst_coupling must be in [0, 1], got {self.burst_coupling}"
+                )
+            if self.flash_crowds:
+                raise ValueError(
+                    "burst_coupling and flash_crowds do not compose; model the "
+                    "surge as a coupled bursty class instead"
+                )
+        if self.replay is not None:
+            if self.flash_crowds:
+                raise ValueError("trace replay cannot carry flash crowds")
+            if self.burst_coupling is not None:
+                raise ValueError("trace replay cannot carry burst coupling")
+            if self.rate_scale != 1.0:
+                raise ValueError(
+                    "trace replay ignores rate_scale; use the replay spec's "
+                    "time_compression to raise intensity"
+                )
+            if self.classes != WorkloadSpec.__dataclass_fields__["classes"].default:
+                raise ValueError(
+                    "trace replay cannot carry synthetic job classes; the "
+                    "recording is the workload"
+                )
 
     def horizon_for(self, n_jobs: int, num_servers: int) -> float:
-        """Trace span implied by the reference intensity and fleet size."""
+        """Trace span implied by the workload recipe.
+
+        Synthetic workloads derive it from the reference intensity and
+        fleet size; replay reads the actual evaluation span off the
+        recording (fractional churn windows then land on real times).
+        """
+        if self.replay is not None:
+            return self.replay.eval_span(
+                n_jobs, self.n_train_segments, self.train_fraction
+            )
         return n_jobs / reference_rate(num_servers, self.rate_scale)
 
     def build(
@@ -117,11 +465,17 @@ class WorkloadSpec:
     ) -> tuple[list[Job], list[list[Job]]]:
         """Generate the evaluation trace and training segments.
 
-        Every trace gets an independently spawned
+        Every synthetic trace gets an independently spawned
         :class:`~numpy.random.SeedSequence` child, so training segments
         never share a stream with the evaluation trace (or each other),
-        even when built in parallel workers.
+        even when built in parallel workers. Trace replay is
+        deterministic: the seed does not perturb the recorded jobs (it
+        still seeds controller construction elsewhere).
         """
+        if self.replay is not None:
+            return self.replay.build(
+                n_jobs, self.n_train_segments, self.train_fraction
+            )
         ss = (
             seed
             if isinstance(seed, np.random.SeedSequence)
@@ -133,7 +487,7 @@ class WorkloadSpec:
             (f.start_fraction, f.duration_fraction, f.rate_multiplier)
             for f in self.flash_crowds
         ]
-        eval_jobs = generate_mixture(
+        eval_jobs = self._generate(
             class_configs,
             n_jobs=n_jobs,
             horizon=self.horizon_for(n_jobs, num_servers),
@@ -143,7 +497,7 @@ class WorkloadSpec:
         train_jobs = max(int(n_jobs * self.train_fraction), 200)
         train_horizon = self.horizon_for(train_jobs, num_servers)
         train_traces = [
-            generate_mixture(
+            self._generate(
                 class_configs,
                 n_jobs=train_jobs,
                 horizon=train_horizon,
@@ -153,6 +507,30 @@ class WorkloadSpec:
             for child in train_ss
         ]
         return eval_jobs, train_traces
+
+    def _generate(
+        self,
+        class_configs: list[tuple[SyntheticTraceConfig, float]],
+        n_jobs: int,
+        horizon: float,
+        seed: np.random.SeedSequence,
+        flash_crowds: list[tuple[float, float, float]],
+    ) -> list[Job]:
+        if self.burst_coupling is not None:
+            return generate_correlated_mixture(
+                class_configs,
+                n_jobs=n_jobs,
+                horizon=horizon,
+                seed=seed,
+                coupling=self.burst_coupling,
+            )
+        return generate_mixture(
+            class_configs,
+            n_jobs=n_jobs,
+            horizon=horizon,
+            seed=seed,
+            flash_crowds=flash_crowds,
+        )
 
 
 @dataclass(frozen=True)
@@ -287,7 +665,14 @@ def rolling_maintenance(
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A named, fully parameterized experiment scenario."""
+    """A named, fully parameterized experiment scenario.
+
+    ``tariff`` attaches a time-varying electricity price / carbon
+    intensity signal (:class:`~repro.sim.power.TariffModel`): evaluation
+    results then carry cost ($) and CO₂ (kg) series alongside energy.
+    The tariff never enters training — it is an accounting lens over the
+    same joules, so it shapes result content keys but not training keys.
+    """
 
     name: str
     description: str
@@ -295,6 +680,7 @@ class ScenarioSpec:
     fleet: FleetSpec = field(default_factory=FleetSpec)
     capacity_windows: tuple[CapacityWindowSpec, ...] = ()
     overload_threshold: float = 0.9
+    tariff: TariffModel | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -346,7 +732,10 @@ class ScenarioSpec:
         Labels are cosmetic — scenarios that differ only in naming
         simulate identically — so the scenario ``name``/``description``
         and the job/server class names are excluded, keeping cached
-        results stable across renames.
+        results stable across renames. A replay workload additionally
+        keys the trace *files* (path, size, mtime per resolved file):
+        editing or replacing a trace file must invalidate the results
+        computed from its old contents, not silently serve them.
         """
         payload = asdict(self)
         payload.pop("name")
@@ -355,6 +744,10 @@ class ScenarioSpec:
             cls.pop("name")
         for cls in payload["fleet"]["classes"]:
             cls.pop("name")
+        if self.workload.replay is not None:
+            payload["workload"]["replay"]["files"] = [
+                list(fp) for fp in self.workload.replay.file_fingerprints()
+            ]
         return payload
 
     def content_key(self) -> str:

@@ -23,7 +23,10 @@ from pathlib import Path
 #: request so stale cache entries are never silently reused.
 #: v2: cell results carry Fig-8-style ``latency_series``/``energy_series``
 #: and DRL cells may be computed warm from a policy checkpoint.
-SCHEMA_VERSION = 2
+#: v3: scenarios may replay recorded traces (``WorkloadSpec.replay``) and
+#: carry a tariff; results gain ``cost_usd``/``co2_kg`` totals plus
+#: ``cost_series``/``co2_series`` panels.
+SCHEMA_VERSION = 3
 
 DEFAULT_ROOT = Path(".repro-cache")
 

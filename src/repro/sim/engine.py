@@ -19,7 +19,7 @@ from repro.sim.events import EventQueue
 from repro.sim.interfaces import Broker, PowerPolicy
 from repro.sim.job import Job
 from repro.sim.metrics import MetricsCollector
-from repro.sim.power import PowerModel
+from repro.sim.power import PowerModel, TariffModel
 
 
 @dataclass
@@ -165,12 +165,14 @@ def build_simulation(
     record_every: int = 100,
     keep_jobs: bool = False,
     capacity_events: Iterable[CapacityEvent] = (),
+    tariff: TariffModel | None = None,
 ) -> ClusterEngine:
     """Convenience constructor for the common engine wiring.
 
     ``power_model`` may be a per-server sequence (heterogeneous fleet);
     ``capacity_events`` are pre-scheduled churn events (failures or
-    maintenance drains) that fire during the run.
+    maintenance drains) that fire during the run; ``tariff`` attaches a
+    price/carbon signal so the metrics also report cost and CO₂.
     """
     events = EventQueue()
     cluster = Cluster(
@@ -183,5 +185,7 @@ def build_simulation(
         initially_on=initially_on,
     )
     schedule_capacity_events(cluster, capacity_events)
-    metrics = MetricsCollector(record_every=record_every, keep_jobs=keep_jobs)
+    metrics = MetricsCollector(
+        record_every=record_every, keep_jobs=keep_jobs, tariff=tariff
+    )
     return ClusterEngine(cluster, broker, metrics)

@@ -109,6 +109,13 @@ class EventQueue:
             if event.cancelled:
                 continue
             if event.time < self.now:
+                # The heappop above already removed the event; settle the
+                # live counter before surfacing the corruption, or a
+                # caller that catches this sees len() overcount forever
+                # (a `while len(queue)` drain would then spin on pops
+                # returning None).
+                self._live -= 1
+                event._queue = None
                 raise RuntimeError(
                     f"event {event!r} is in the past (now={self.now})"
                 )

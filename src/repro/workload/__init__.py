@@ -13,7 +13,13 @@ the simulation actually consumes — see DESIGN.md §4 for the substitution
 argument.
 """
 
-from repro.workload.mixtures import flash_crowd_jobs, generate_mixture, merge_traces
+from repro.workload.mixtures import (
+    correlated_traces,
+    flash_crowd_jobs,
+    generate_correlated_mixture,
+    generate_mixture,
+    merge_traces,
+)
 from repro.workload.segments import rebase, split_segments
 from repro.workload.stats import WorkloadStats, characterize
 from repro.workload.synthetic import SyntheticTraceConfig, generate_trace
@@ -25,7 +31,9 @@ from repro.workload.trace import (
 )
 
 __all__ = [
+    "correlated_traces",
     "flash_crowd_jobs",
+    "generate_correlated_mixture",
     "generate_mixture",
     "merge_traces",
     "rebase",

@@ -14,10 +14,17 @@ single-class generator in :mod:`repro.workload.synthetic`:
   brutal rate).
 * :func:`generate_mixture` — weighted multi-class generation over a
   shared horizon, with optional flash crowds, as one call.
+* :func:`correlated_traces` / :func:`generate_correlated_mixture` —
+  *correlated* workloads: several clusters (or tenants) sharing one
+  diurnal phase and, to a tunable degree, one burst timeline, so load
+  peaks coincide instead of averaging out. Real fleets behave this way —
+  the same users hit every region's front-ends at 8 pm — and coincident
+  peaks are exactly what independent streams understate.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 from typing import Sequence
 
@@ -25,6 +32,7 @@ import numpy as np
 
 from repro.sim.job import Job
 from repro.workload.synthetic import (
+    _DAY_SECONDS,
     SyntheticTraceConfig,
     _sample_durations,
     _sample_resources,
@@ -129,7 +137,11 @@ def generate_mixture(
     total_weight = sum(w for _, w in class_configs)
     if total_weight <= 0:
         raise ValueError("class weights must sum to a positive value")
-    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    ss = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
     children = ss.spawn(len(class_configs) + len(flash_crowds))
 
     traces: list[list[Job]] = []
@@ -138,7 +150,7 @@ def generate_mixture(
         class_config = replace(config, n_jobs=class_jobs, horizon=horizon)
         traces.append(generate_trace(class_config, seed=np.random.default_rng(child)))
 
-    crowd_children = children[len(class_configs):]
+    crowd_children = children[len(class_configs) :]
     base_config = replace(class_configs[0][0], n_jobs=n_jobs, horizon=horizon)
     for (start_frac, dur_frac, mult), child in zip(flash_crowds, crowd_children):
         if not 0.0 <= start_frac < 1.0 or not 0.0 < dur_frac <= 1.0:
@@ -156,3 +168,185 @@ def generate_mixture(
             )
         )
     return merge_traces(*traces)
+
+
+# ----------------------------------------------------------------------
+# Correlated multi-cluster / multi-tenant workloads
+# ----------------------------------------------------------------------
+
+
+def sample_burst_windows(
+    config: SyntheticTraceConfig,
+    horizon: float,
+    rng: np.random.Generator,
+) -> tuple[tuple[float, float], ...]:
+    """Burst-on windows of the two-state Markov chain over ``[0, 2·horizon]``.
+
+    The chain starts calm (matching the single-stream generator) and the
+    timeline extends past ``horizon`` because thinning keeps sampling
+    until the requested job count is reached; beyond twice the horizon
+    the chain is treated as permanently calm.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    limit = 2.0 * horizon
+    windows: list[tuple[float, float]] = []
+    t = rng.exponential(config.burst_off_mean)
+    while t < limit:
+        start = t
+        t += rng.exponential(config.burst_on_mean)
+        windows.append((start, min(t, limit)))
+        t += rng.exponential(config.burst_off_mean)
+    return tuple(windows)
+
+
+def _burst_on(
+    windows: tuple[tuple[float, float], ...], index: int, t: float
+) -> tuple[int, bool]:
+    """Whether ``t`` falls in a window, advancing a monotone cursor."""
+    while index < len(windows) and windows[index][1] <= t:
+        index += 1
+    return index, index < len(windows) and windows[index][0] <= t
+
+
+def _sample_coupled_arrivals(
+    config: SyntheticTraceConfig,
+    rng: np.random.Generator,
+    phase: float,
+    shared_windows: tuple[tuple[float, float], ...],
+    shared_duty: float,
+    own_windows: tuple[tuple[float, float], ...],
+    coupling: float,
+) -> np.ndarray:
+    """Thinning sampler whose burst modulation mixes a shared timeline.
+
+    The instantaneous burst multiplier interpolates between this
+    stream's own chain and the shared one: ``coupling = 0`` reproduces
+    independent streams, ``coupling = 1`` makes every stream surge in
+    exactly the shared windows. The diurnal phase is always the shared
+    one. Long-run mean rate stays ``config.base_rate``: the duty-cycle
+    correction mixes the shared chain's duty (``shared_duty``) and this
+    stream's own, with the same weights as the modulation itself.
+    """
+    base = config.base_rate
+    amp = config.diurnal_amplitude
+    mult = config.burst_rate_multiplier
+    own_duty = config.burst_on_mean / (config.burst_on_mean + config.burst_off_mean)
+    duty = coupling * shared_duty + (1.0 - coupling) * own_duty
+    mean_mult = 1.0 + duty * (mult - 1.0)
+    lam_max = base * (1.0 + amp) * mult / mean_mult
+
+    arrivals = np.empty(config.n_jobs)
+    count = 0
+    t = 0.0
+    si = oi = 0
+    while count < config.n_jobs:
+        t += rng.exponential(1.0 / lam_max)
+        si, shared_on = _burst_on(shared_windows, si, t)
+        oi, own_on = _burst_on(own_windows, oi, t)
+        on_level = coupling * shared_on + (1.0 - coupling) * own_on
+        burst = 1.0 + (mult - 1.0) * on_level
+        diurnal = 1.0 + amp * math.sin(2.0 * math.pi * t / _DAY_SECONDS + phase)
+        rate = base * diurnal * burst / mean_mult
+        if rng.uniform() * lam_max <= rate:
+            arrivals[count] = t
+            count += 1
+    return arrivals
+
+
+def correlated_traces(
+    cluster_configs: Sequence[tuple[SyntheticTraceConfig, int]],
+    horizon: float,
+    seed: int | np.random.SeedSequence = 0,
+    coupling: float = 1.0,
+) -> list[list[Job]]:
+    """One trace per cluster, coupled through shared load modulation.
+
+    Parameters
+    ----------
+    cluster_configs:
+        ``(config, n_jobs)`` per cluster; each trace gets that many jobs
+        over the shared ``horizon`` with the config's duration/resource
+        marginals.
+    coupling:
+        Burst-coupling weight in [0, 1]: 0 = independent burst chains
+        (only the diurnal phase is shared), 1 = every cluster bursts in
+        the same shared windows.
+
+    The shared diurnal phase and shared burst timeline are drawn from
+    their own spawned stream (using the first cluster's sojourn
+    parameters), so adding a cluster never perturbs the others'
+    workloads — and per-cluster durations/resources stay independent.
+    """
+    if not cluster_configs:
+        raise ValueError("need at least one cluster")
+    if not 0.0 <= coupling <= 1.0:
+        raise ValueError(f"coupling must be in [0, 1], got {coupling}")
+    if any(n < 1 for _, n in cluster_configs):
+        raise ValueError("every cluster needs at least one job")
+    ss = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    shared_child, *children = ss.spawn(1 + len(cluster_configs))
+    shared_rng = np.random.default_rng(shared_child)
+    phase = shared_rng.uniform(0.0, 2.0 * math.pi)
+    shared_config = cluster_configs[0][0]
+    shared_windows = sample_burst_windows(shared_config, horizon, shared_rng)
+    shared_duty = shared_config.burst_on_mean / (
+        shared_config.burst_on_mean + shared_config.burst_off_mean
+    )
+
+    traces: list[list[Job]] = []
+    for (config, n_jobs), child in zip(cluster_configs, children):
+        cfg = replace(config, n_jobs=n_jobs, horizon=horizon)
+        rng = np.random.default_rng(child)
+        own_windows = sample_burst_windows(cfg, horizon, rng)
+        arrivals = _sample_coupled_arrivals(
+            cfg, rng, phase, shared_windows, shared_duty, own_windows, coupling
+        )
+        durations = _sample_durations(cfg, rng, n_jobs)
+        resources = _sample_resources(cfg, rng, n_jobs)
+        traces.append(
+            [
+                Job(
+                    job_id=i,
+                    arrival_time=float(arrivals[i]),
+                    duration=float(durations[i]),
+                    resources=tuple(float(r) for r in resources[i]),
+                )
+                for i in range(n_jobs)
+            ]
+        )
+    return traces
+
+
+def generate_correlated_mixture(
+    class_configs: Sequence[tuple[SyntheticTraceConfig, float]],
+    n_jobs: int,
+    horizon: float,
+    seed: int | np.random.SeedSequence = 0,
+    coupling: float = 1.0,
+) -> list[Job]:
+    """Weighted multi-class trace whose classes surge *together*.
+
+    The correlated sibling of :func:`generate_mixture`: same weighted
+    class sizing, but every class shares one diurnal phase and (to
+    degree ``coupling``) one burst timeline, then the streams merge into
+    a single arrival-ordered trace. Feeding one cluster a fully coupled
+    mixture reproduces the worst case of a correlated fleet — every
+    tenant's peak lands on the same minutes.
+    """
+    if not class_configs:
+        raise ValueError("need at least one job class")
+    total_weight = sum(w for _, w in class_configs)
+    if total_weight <= 0:
+        raise ValueError("class weights must sum to a positive value")
+    sized = [
+        (config, max(1, round(n_jobs * weight / total_weight)))
+        for config, weight in class_configs
+    ]
+    return merge_traces(
+        *correlated_traces(sized, horizon, seed=seed, coupling=coupling)
+    )

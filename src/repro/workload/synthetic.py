@@ -122,7 +122,9 @@ class SyntheticTraceConfig:
         return self.n_jobs / self.horizon
 
 
-def _sample_arrivals(config: SyntheticTraceConfig, rng: np.random.Generator) -> np.ndarray:
+def _sample_arrivals(
+    config: SyntheticTraceConfig, rng: np.random.Generator
+) -> np.ndarray:
     """Thinning sampler for the non-homogeneous, burst-modulated process."""
     base = config.base_rate
     amp = config.diurnal_amplitude
@@ -173,7 +175,9 @@ def _sample_resources(
     """Correlated (cpu, mem, disk) demand rows in (0, 1]."""
     shared = rng.beta(config.cpu_alpha, config.cpu_beta, size=n)
     rows = np.empty((n, 3))
-    for col, scale in enumerate((config.cpu_scale, config.mem_scale, config.disk_scale)):
+    for col, scale in enumerate(
+        (config.cpu_scale, config.mem_scale, config.disk_scale)
+    ):
         own = rng.beta(config.cpu_alpha, config.cpu_beta, size=n)
         mixed = config.correlation * shared + (1.0 - config.correlation) * own
         rows[:, col] = np.clip(

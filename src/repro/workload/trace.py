@@ -10,13 +10,15 @@ Two formats are supported:
   Hellerstein, 2011): a headerless CSV whose relevant columns are
   timestamp (microseconds), job ID, event type, and normalized CPU /
   memory / disk requests. :func:`read_google_task_events` pairs SUBMIT
-  (type 0) with FINISH (type 4) events to recover per-job durations —
-  drop the real trace files in and the rest of the library runs unchanged.
+  (type 0) with FINISH (type 4) events per job-ID incarnation to recover
+  per-job durations — drop the real trace files in and the rest of the
+  library runs unchanged.
 """
 
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -34,18 +36,36 @@ _MICROSECONDS = 1e6
 
 
 def write_trace_csv(jobs: Iterable[Job], path: str | Path) -> int:
-    """Write jobs in the canonical CSV format; returns the row count."""
+    """Write jobs in the canonical CSV format; returns the row count.
+
+    Raises
+    ------
+    ValueError
+        If a job carries more than 3 resource dimensions (the canonical
+        format holds exactly cpu/mem/disk, so extra dimensions would be
+        silently dropped) or any NaN field (NaN round-trips through
+        ``float(repr(...))`` but poisons every downstream aggregate).
+    """
     path = Path(path)
     count = 0
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(_HEADER)
         for job in jobs:
+            if len(job.resources) > 3:
+                raise ValueError(
+                    f"job {job.job_id}: {len(job.resources)} resource dimensions; "
+                    f"the canonical CSV holds exactly {len(_HEADER) - 3} "
+                    "(cpu, mem, disk), so a write/read round-trip would lose data"
+                )
+            fields = [job.arrival_time, job.duration, *job.resources]
+            if any(math.isnan(float(v)) for v in fields):
+                raise ValueError(f"job {job.job_id}: NaN field cannot be written")
             res = list(job.resources) + [0.0] * (3 - len(job.resources))
             # float() first: repr of numpy scalars is not parseable text.
             writer.writerow(
                 [job.job_id, repr(float(job.arrival_time)), repr(float(job.duration))]
-                + [repr(float(r)) for r in res[:3]]
+                + [repr(float(r)) for r in res]
             )
             count += 1
     return count
@@ -120,13 +140,26 @@ def read_google_task_events(
 ) -> list[Job]:
     """Extract jobs from Google cluster-usage task-events CSV files.
 
-    Pairs SUBMIT with FINISH events per job ID, keeps jobs whose duration
-    falls in ``[min_duration, max_duration]`` (the paper keeps 1 min–2 h),
-    and returns them sorted by arrival time with arrival times re-based to
+    Pairs SUBMIT with FINISH events per job-ID *incarnation*: rows are
+    processed in timestamp order (files and rows may arrive out of
+    order), each FINISH closes the currently open SUBMIT of its job ID,
+    and the ID then becomes available again — Google traces recycle job
+    IDs across RESUBMIT cycles, and pairing first-SUBMIT with
+    first-FINISH would fabricate durations spanning several
+    incarnations. Keeps jobs whose duration falls in
+    ``[min_duration, max_duration]`` (the paper keeps 1 min–2 h), and
+    returns them sorted by arrival time with arrival times re-based to
     zero. Rows with missing resource requests are skipped.
+
+    Memory: all SUBMIT/FINISH rows are buffered and globally sorted —
+    out-of-order tolerance requires a total time order — so peak memory
+    is proportional to the event count of the files passed in (the same
+    order as the job-keyed dicts this replaces). Feed part files in
+    segment-sized batches rather than the whole 40 GB trace at once; a
+    streaming merge for pre-sorted part files is a ROADMAP item.
     """
-    submits: dict[int, tuple[float, tuple[float, float, float]]] = {}
-    finishes: dict[int, float] = {}
+    Res = tuple[float, float, float]
+    rows: list[tuple[float, int, int, Res | None]] = []
     for path in paths:
         with Path(path).open(newline="") as fh:
             for row in csv.reader(fh):
@@ -147,21 +180,31 @@ def read_google_task_events(
                         )
                     except ValueError:
                         continue
-                    submits.setdefault(job_id, (time_s, res))
+                    rows.append((time_s, job_id, event, res))
                 elif event == _G_FINISH:
-                    finishes.setdefault(job_id, time_s)
+                    rows.append((time_s, job_id, event, None))
 
+    # Stable sort: simultaneous rows keep file order, so a same-instant
+    # FINISH/SUBMIT reuse cycle resolves the way the trace wrote it.
+    rows.sort(key=lambda rec: rec[0])
+    pending: dict[int, tuple[float, Res]] = {}
     records = []
-    for job_id, (t_submit, res) in submits.items():
-        t_finish = finishes.get(job_id)
-        if t_finish is None:
+    for time_s, job_id, event, res in rows:
+        if event == _G_SUBMIT:
+            # Duplicate SUBMITs inside one incarnation keep the first.
+            if job_id not in pending:
+                pending[job_id] = (time_s, res)  # type: ignore[assignment]
             continue
-        duration = t_finish - t_submit
+        opened = pending.pop(job_id, None)  # FINISH: reset the incarnation
+        if opened is None:
+            continue  # FINISH with no open SUBMIT (trace window cut it off)
+        t_submit, submit_res = opened
+        duration = time_s - t_submit
         if not min_duration <= duration <= max_duration:
             continue
-        if any(r <= 0.0 or r > 1.0 for r in res):
+        if any(r <= 0.0 or r > 1.0 for r in submit_res):
             continue
-        records.append((t_submit, duration, res))
+        records.append((t_submit, duration, submit_res))
 
     records.sort(key=lambda rec: rec[0])
     if not records:

@@ -205,3 +205,77 @@ class TestEnsureCheckpoint:
         assert len(store) == 1
         for key, value in first.qnet_state.items():
             assert np.array_equal(second.qnet_state[key], value)
+
+
+class TestWorkloadKindKeys:
+    """Trace-replay and synthetic cells must never share training keys."""
+
+    def test_replay_and_synthetic_training_keys_differ(self, tmp_path):
+        from repro.scenarios.specs import TraceReplaySpec
+        from repro.sim.job import Job
+        from repro.workload.trace import write_trace_csv
+
+        path = tmp_path / "trace.csv"
+        write_trace_csv(
+            [Job(i, i * 10.0, 120.0, (0.3, 0.2, 0.1)) for i in range(30)], path
+        )
+        replay_spec = ScenarioSpec(
+            name="tiny-ckpt",  # same cosmetic name: labels never key
+            description="same label, replayed workload",
+            fleet=TINY.fleet,
+            workload=WorkloadSpec(
+                replay=TraceReplaySpec(paths=(str(path),), format="canonical"),
+                n_train_segments=1,
+            ),
+        )
+        synth_key = content_key(training_request(TINY, 60, 0))
+        replay_key = content_key(training_request(replay_spec, 60, 0))
+        assert synth_key != replay_key
+        # ... and two replays of different files differ too.
+        other = ScenarioSpec(
+            name="tiny-ckpt",
+            description="",
+            fleet=TINY.fleet,
+            workload=WorkloadSpec(
+                replay=TraceReplaySpec(paths=(str(path) + ".other",),
+                                       format="canonical"),
+                n_train_segments=1,
+            ),
+        )
+        assert content_key(training_request(other, 60, 0)) != replay_key
+
+    def test_tariff_never_invalidates_training(self):
+        from dataclasses import replace
+
+        from repro.sim.power import TariffModel
+
+        priced = replace(TINY, tariff=TariffModel.time_of_use(16, 21, 0.3, 0.1))
+        assert content_key(training_request(TINY, 60, 0)) == content_key(
+            training_request(priced, 60, 0)
+        )
+        # ... while the *result* identity does change with the tariff.
+        assert TINY.content_key() != priced.content_key()
+
+    def test_replay_and_synthetic_blobs_never_collide_in_store(self, tmp_path):
+        from repro.scenarios.specs import TraceReplaySpec
+        from repro.sim.job import Job
+        from repro.workload.trace import write_trace_csv
+
+        path = tmp_path / "trace.csv"
+        write_trace_csv(
+            [Job(i, i * 30.0, 300.0, (0.3, 0.2, 0.1)) for i in range(40)], path
+        )
+        replay_spec = ScenarioSpec(
+            name="tiny-ckpt",
+            description="",
+            fleet=TINY.fleet,
+            workload=WorkloadSpec(
+                replay=TraceReplaySpec(paths=(str(path),), format="canonical"),
+                n_train_segments=1,
+            ),
+        )
+        store = CheckpointStore(tmp_path / "ckpt")
+        synth = ensure_checkpoint(store, TINY, with_predictor=False, **FAST)
+        warm = ensure_checkpoint(store, replay_spec, with_predictor=False, **FAST)
+        assert len(store) == 2  # two blobs: no cross-workload warm-start
+        assert synth.meta["request"] != warm.meta["request"]

@@ -129,3 +129,94 @@ class TestAggregation:
         assert "tiny-test" in table and "round-robin" in table
         assert csv.splitlines()[0].startswith("scenario,system")
         assert "tiny-test,round-robin" in csv
+
+
+class TestElectricityAndReplayCells:
+    @staticmethod
+    def _replay_spec(tmp_path, tariff=None):
+        from repro.scenarios.specs import TraceReplaySpec
+        from repro.sim.job import Job
+        from repro.workload.trace import write_trace_csv
+
+        path = tmp_path / "trace.csv"
+        write_trace_csv(
+            [Job(i, i * 20.0, 150.0 + i, (0.3, 0.2, 0.1)) for i in range(60)],
+            path,
+        )
+        return ScenarioSpec(
+            name="tiny-replay",
+            description="replayed smoke scenario",
+            fleet=FleetSpec(classes=(ServerClassSpec("standard", 4),)),
+            workload=WorkloadSpec(
+                replay=TraceReplaySpec(paths=(str(path),), format="canonical"),
+                n_train_segments=1,
+            ),
+            tariff=tariff,
+        )
+
+    def test_tariffed_cell_carries_cost_and_co2(self):
+        from dataclasses import replace
+
+        from repro.sim.power import TariffModel
+
+        spec = replace(TINY, tariff=TariffModel(price=0.25, carbon=200.0))
+        cell = run_cell(spec, "round-robin", n_jobs=60, seed=0)
+        assert cell["cost_usd"] == pytest.approx(cell["energy_kwh"] * 0.25)
+        assert cell["co2_kg"] == pytest.approx(cell["energy_kwh"] * 0.2)
+        assert cell["cost_series"][-1][1] == pytest.approx(cell["cost_usd"])
+        assert cell["co2_series"][-1][1] == pytest.approx(cell["co2_kg"])
+
+    def test_untariffed_cell_reports_zero_account(self):
+        cell = run_cell(TINY, "round-robin", n_jobs=60, seed=0)
+        assert cell["cost_usd"] == 0.0
+        assert cell["co2_kg"] == 0.0
+        assert all(v == 0.0 for _, v in cell["cost_series"])
+
+    def test_replay_cell_deterministic_and_cacheable(self, tmp_path):
+        from repro.sim.power import TariffModel
+
+        spec = self._replay_spec(tmp_path, tariff=TariffModel())
+        store = ResultStore(tmp_path / "cache")
+        first = sweep(
+            scenarios=[spec], systems=("round-robin",), seeds=(0,),
+            n_jobs=30, workers=1, store=store,
+        )
+        again = sweep(
+            scenarios=[spec], systems=("round-robin",), seeds=(0,),
+            n_jobs=30, workers=1, store=store,
+        )
+        assert first.n_computed == 1 and again.n_cached == 1
+        assert again.results == first.results
+        assert first.results[0]["cost_usd"] > 0
+
+    def test_replay_and_synthetic_cells_never_share_cache_slots(self, tmp_path):
+        from repro.scenarios.orchestrator import _protocol_dict, cell_request
+        from repro.scenarios.orchestrator import SweepCell
+        from repro.scenarios.store import content_key
+
+        spec = self._replay_spec(tmp_path)
+        protocol = _protocol_dict(60, 200, True, 1, 1)
+        synth_key = content_key(
+            cell_request(SweepCell(TINY, "round-robin", 0), protocol)
+        )
+        replay_key = content_key(
+            cell_request(SweepCell(spec, "round-robin", 0), protocol)
+        )
+        assert synth_key != replay_key
+
+    def test_series_rows_include_cost_and_co2(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.scenarios.orchestrator import aggregate_series_rows
+        from repro.sim.power import TariffModel
+
+        spec = replace(TINY, tariff=TariffModel())
+        report = sweep(
+            scenarios=[spec], systems=("round-robin",), seeds=(0, 1),
+            n_jobs=60, workers=1, use_cache=False,
+        )
+        rows = aggregate_series_rows(report.results)
+        kinds = {row["series"] for row in rows}
+        assert kinds == {"latency", "energy", "cost", "co2"}
+        table = report.render_table()
+        assert "Cost ($)" in table and "CO2 (kg)" in table

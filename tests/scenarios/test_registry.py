@@ -50,6 +50,9 @@ class TestBuiltinRoundTrip:
         "hetero-fleet",
         "maintenance-churn",
         "tenant-mix",
+        "carbon-aware-diurnal",
+        "tou-price-shift",
+        "correlated-fleet",
     ])
     def test_builds_and_simulates(self, name):
         """Every builtin produces a runnable config, traces, and churn plan."""
@@ -65,3 +68,58 @@ class TestBuiltinRoundTrip:
                             capacity_events=events)
         assert result.n_jobs == len(eval_jobs)
         assert result.energy_kwh > 0
+
+
+class TestNewBuiltins:
+    def test_all_ten_registered(self):
+        names = registry.names()
+        for expected in (
+            "google-replay",
+            "carbon-aware-diurnal",
+            "tou-price-shift",
+            "correlated-fleet",
+        ):
+            assert expected in names
+        assert len(names) >= 10
+
+    def test_google_replay_round_trip(self, tmp_path):
+        """The replay builtin runs end-to-end against the bundled fixture."""
+        from dataclasses import replace
+        from pathlib import Path
+
+        fixture = (
+            Path(__file__).resolve().parents[1]
+            / "fixtures"
+            / "google_task_events_small.csv"
+        )
+        spec = registry.get("google-replay")
+        spec = replace(
+            spec,
+            workload=replace(
+                spec.workload,
+                replay=replace(spec.workload.replay, paths=(str(fixture),)),
+            ),
+        )
+        eval_jobs, train = spec.build_traces(80, seed=0)
+        assert len(eval_jobs) == 80
+        assert train and all(train)
+        system = make_system("round-robin", spec.experiment_config(seed=0))
+        result = run_system(
+            system, eval_jobs, record_every=50, tariff=spec.tariff
+        )
+        assert result.n_jobs == 80
+        assert result.energy_kwh > 0
+        assert result.cost_usd > 0
+        assert result.co2_kg > 0
+        assert len(result.cost_series) == len(result.energy_series)
+
+    def test_electricity_scenarios_carry_tariffs(self):
+        assert registry.get("carbon-aware-diurnal").tariff is not None
+        assert registry.get("tou-price-shift").tariff is not None
+        assert registry.get("tou-price-shift").tariff.price_windows
+        assert registry.get("carbon-aware-diurnal").tariff.carbon_windows
+
+    def test_correlated_fleet_couples_bursts(self):
+        spec = registry.get("correlated-fleet")
+        assert spec.workload.burst_coupling == 1.0
+        assert len(spec.workload.classes) == 2

@@ -239,5 +239,5 @@ class TestTrainOnce:
         assert result["latency_series"], "Fig-8 series missing"
         assert result["energy_series"]
         rows = report.series_rows()
-        assert {row["series"] for row in rows} == {"latency", "energy"}
+        assert {row["series"] for row in rows} == {"latency", "energy", "cost", "co2"}
         assert all(np.isfinite(row["value"]) for row in rows)

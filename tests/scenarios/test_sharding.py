@@ -180,3 +180,59 @@ class TestRunCellSharded:
         )
         assert cell["shards"] == 1
         assert cell["n_jobs_completed"] == 120
+
+
+class TestShardedTariff:
+    @staticmethod
+    def _tou_spec():
+        # Peak price confined to the experiment's opening window: only
+        # shard 0 should pay it. An unshifted shard would re-enter the
+        # peak window at its local t = 0, over-billing every shard.
+        from dataclasses import replace
+
+        from repro.scenarios import registry
+        from repro.sim.power import TariffModel
+
+        return replace(
+            registry.get("paper-default"),
+            tariff=TariffModel(price=0.05, price_windows=((0.0, 600.0, 0.40),)),
+        )
+
+    def test_shards_receive_absolute_time_offsets(self, monkeypatch):
+        import repro.scenarios.sharding as sharding_module
+        from repro.scenarios.sharding import shard_trace
+        from repro.harness.runner import make_scenario_system
+
+        spec = self._tou_spec()
+        captured = []
+        original = sharding_module._run_shard
+
+        def spy(args):
+            captured.append(args[4])  # the shard's tariff
+            return original(args)
+
+        monkeypatch.setattr(sharding_module, "_run_shard", spy)
+        run_cell_sharded(spec, "round-robin", n_jobs=200, seed=0, shards=3,
+                         workers=1)
+        assert len(captured) == 3
+        _, eval_jobs, _ = make_scenario_system(
+            "round-robin", spec, 200, seed=0
+        )
+        _, starts = shard_trace(eval_jobs, 3)
+        assert [t.t_offset for t in captured] == pytest.approx(starts)
+
+    def test_sharded_cost_tracks_the_unsharded_account(self):
+        # End-to-end sanity at small-shard scale: the effective price
+        # paid ($/kWh) must track the unsharded run despite the
+        # documented extensive-energy drain bias (which, unshifted,
+        # would instead more than double the effective price here).
+        spec = self._tou_spec()
+        unsharded = run_cell(spec, "round-robin", n_jobs=400, seed=0)
+        sharded = run_cell_sharded(
+            spec, "round-robin", n_jobs=400, seed=0, shards=4
+        )
+        assert unsharded["cost_usd"] > 0 and sharded["cost_usd"] > 0
+        effective_u = unsharded["cost_usd"] / unsharded["energy_kwh"]
+        effective_s = sharded["cost_usd"] / sharded["energy_kwh"]
+        assert effective_s == pytest.approx(effective_u, rel=0.25)
+        assert sharded["co2_kg"] > 0

@@ -119,6 +119,74 @@ class TestCancellation:
         assert len(q) == 0
 
 
+class TestCounterInvariants:
+    """The O(1) ``len()`` counter must never drift from the heap's truth."""
+
+    @staticmethod
+    def _live_in_heap(q: EventQueue) -> int:
+        return sum(1 for e in q._heap if not e.cancelled)
+
+    def test_cancel_after_peek_prune_is_noop(self):
+        q = EventQueue()
+        h = q.schedule(1.0, lambda t: None)
+        q.schedule(2.0, lambda t: None)
+        h.cancel()
+        q.peek_time()  # prunes the cancelled tombstone off the heap
+        h.cancel()  # stale handle, event no longer in the heap
+        assert len(q) == 1 == self._live_in_heap(q)
+
+    def test_past_event_error_keeps_counter_consistent(self):
+        # Regression: the corrupted-clock error path popped the event off
+        # the heap without decrementing the live counter, so a caller
+        # catching the error saw len() overcount forever (and a
+        # ``while len(q)`` drain would spin on pops returning None).
+        q = EventQueue()
+        h = q.schedule(5.0, lambda t: None)
+        q.now = 10.0  # simulate a corrupted clock
+        with pytest.raises(RuntimeError, match="in the past"):
+            q.pop()
+        assert len(q) == 0 == self._live_in_heap(q)
+        assert q.pop() is None
+        h.cancel()  # stale handle after the error path: still a no-op
+        assert len(q) == 0
+
+    def test_cancel_storm_never_goes_negative(self):
+        q = EventQueue()
+        handles = [q.schedule(float(i + 1), lambda t: None) for i in range(20)]
+        for _ in range(3):  # every handle cancelled three times over
+            for h in handles:
+                h.cancel()
+                assert len(q) >= 0
+        assert len(q) == 0 == self._live_in_heap(q)
+        assert q.run_until_empty() == 0
+
+    def test_randomized_op_sequence_invariant(self):
+        # White-box fuzz: across arbitrary schedule/cancel/pop interleavings
+        # (including double cancels and cancels of popped handles), len()
+        # must equal the number of live events actually in the heap.
+        import random
+
+        rng = random.Random(1234)
+        q = EventQueue()
+        handles = []
+        for _ in range(600):
+            op = rng.random()
+            if op < 0.45:
+                handles.append(
+                    q.schedule(q.now + rng.uniform(0.0, 10.0), lambda t: None)
+                )
+            elif op < 0.8 and handles:
+                rng.choice(handles).cancel()  # may be stale or already cancelled
+            else:
+                popped = q.pop()
+                if popped is not None and rng.random() < 0.5:
+                    popped.cancel()  # cancel after pop
+            assert len(q) == self._live_in_heap(q)
+            assert len(q) >= 0
+        q.run_until_empty()
+        assert len(q) == 0
+
+
 class TestRun:
     def test_run_returns_event_count(self):
         q = EventQueue()

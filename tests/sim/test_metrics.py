@@ -86,3 +86,62 @@ class TestCollector:
         m.on_arrival(done_job(1, 0.0, 0.0, 1.0), 0.0)
         m.on_arrival(done_job(2, 0.0, 0.0, 1.0), 0.0)
         assert m.n_arrived == 2
+
+
+class TestTariffIntegration:
+    def test_flat_tariff_cost_matches_energy(self):
+        from repro.sim.power import TariffModel
+
+        m = MetricsCollector(record_every=1, tariff=TariffModel(price=0.20, carbon=100.0))
+        m.on_completion(done_job(1, 0.0, 0.0, 10.0), 10.0, JOULES_PER_KWH)
+        m.on_completion(done_job(2, 0.0, 0.0, 20.0), 20.0, 3 * JOULES_PER_KWH)
+        m.close(20.0, 3 * JOULES_PER_KWH)
+        assert m.total_cost_usd() == pytest.approx(3 * 0.20)
+        assert m.total_co2_kg() == pytest.approx(3 * 100.0 / 1e3)
+        assert m.acc_cost_usd == pytest.approx(0.60)
+
+    def test_time_of_use_integrates_piecewise(self):
+        from repro.sim.power import TariffModel
+
+        # Price doubles after t = 100 s within a 200 s period.
+        tariff = TariffModel(
+            price=0.10, price_windows=((100.0, 200.0, 0.20),), period=200.0
+        )
+        # One kWh drawn uniformly over [50, 150]: half at 0.10, half at 0.20.
+        m = MetricsCollector(record_every=1, tariff=tariff)
+        m.on_completion(done_job(1, 0.0, 0.0, 50.0), 50.0, 0.0)
+        m.on_completion(done_job(2, 0.0, 0.0, 150.0), 150.0, JOULES_PER_KWH)
+        assert m.acc_cost_usd == pytest.approx(0.15)
+
+    def test_series_carries_cost_and_co2(self):
+        from repro.sim.power import TariffModel
+
+        m = MetricsCollector(record_every=1, tariff=TariffModel(price=0.10, carbon=500.0))
+        m.on_completion(done_job(1, 0.0, 0.0, 10.0), 10.0, JOULES_PER_KWH)
+        m.on_completion(done_job(2, 0.0, 0.0, 20.0), 20.0, 2 * JOULES_PER_KWH)
+        m.close(20.0, 2 * JOULES_PER_KWH)
+        assert m.cost_series() == [
+            (1, pytest.approx(0.10)),
+            (2, pytest.approx(0.20)),
+        ]
+        assert m.co2_series() == [
+            (1, pytest.approx(0.5)),
+            (2, pytest.approx(1.0)),
+        ]
+
+    def test_close_settles_trailing_drain_energy(self):
+        from repro.sim.power import TariffModel
+
+        m = MetricsCollector(record_every=1, tariff=TariffModel(price=0.10))
+        m.on_completion(done_job(1, 0.0, 0.0, 10.0), 10.0, JOULES_PER_KWH)
+        # Idle burn after the last completion still costs money.
+        m.close(100.0, 2 * JOULES_PER_KWH)
+        assert m.total_cost_usd() == pytest.approx(0.20)
+
+    def test_without_tariff_series_is_zero(self):
+        m = MetricsCollector(record_every=1)
+        m.on_completion(done_job(1, 0.0, 0.0, 10.0), 10.0, JOULES_PER_KWH)
+        m.close(10.0, JOULES_PER_KWH)
+        assert m.total_cost_usd() == 0.0
+        assert m.total_co2_kg() == 0.0
+        assert m.cost_series() == [(1, 0.0)]

@@ -84,3 +84,142 @@ class TestEnergy:
     def test_negative_dt_raises(self):
         with pytest.raises(ValueError):
             PowerModel().energy(0.5, -1.0)
+
+
+class TestTariffModel:
+    def test_flat_defaults(self):
+        from repro.sim.power import TariffModel
+
+        t = TariffModel()
+        assert t.price_at(0.0) == pytest.approx(0.10)
+        assert t.carbon_at(12 * 3600.0) == pytest.approx(400.0)
+        assert t.mean_price(0.0, 1e6) == pytest.approx(0.10)
+
+    def test_time_of_use_boundaries(self):
+        from repro.sim.power import TariffModel
+
+        t = TariffModel.time_of_use(16, 21, 0.32, 0.08)
+        assert t.price_at(15.999 * 3600) == pytest.approx(0.08)
+        assert t.price_at(16 * 3600) == pytest.approx(0.32)  # start inclusive
+        assert t.price_at(21 * 3600) == pytest.approx(0.08)  # end exclusive
+        # Daily mean: 5 peak hours out of 24.
+        assert t.mean_price(0, 86400) == pytest.approx(0.08 + 5 / 24 * 0.24)
+
+    def test_mean_across_window_boundary_is_exact(self):
+        from repro.sim.power import TariffModel
+
+        t = TariffModel.time_of_use(16, 21, 0.32, 0.08)
+        # [15h, 17h]: one hour at 0.08, one at 0.32.
+        assert t.mean_price(15 * 3600, 17 * 3600) == pytest.approx(0.20)
+
+    def test_periodicity_and_multi_period_spans(self):
+        from repro.sim.power import TariffModel
+
+        t = TariffModel.time_of_use(16, 21, 0.32, 0.08)
+        day = 86400.0
+        assert t.mean_price(3 * day + 15 * 3600, 3 * day + 17 * 3600) == pytest.approx(
+            0.20
+        )
+        # A full number of periods equals the daily mean exactly.
+        assert t.mean_price(day / 2, day / 2 + 2 * day) == pytest.approx(
+            t.mean_price(0, day)
+        )
+
+    def test_t_offset_and_shifted(self):
+        from repro.sim.power import TariffModel
+
+        t = TariffModel.time_of_use(16, 21, 0.32, 0.08)
+        assert t.shifted(3600.0).price_at(15 * 3600) == pytest.approx(0.32)
+        assert t.shifted(3600.0).shifted(-3600.0).price_at(15 * 3600) == pytest.approx(
+            0.08
+        )
+        # Negative absolute times (offset shifts behind zero) stay periodic.
+        assert t.mean_price(-3600.0, 3600.0) == pytest.approx(0.08)
+
+    def test_carbon_windows(self):
+        from repro.sim.power import TariffModel
+
+        t = TariffModel(
+            carbon=420.0,
+            carbon_windows=((0.0, 6 * 3600.0, 180.0), (17 * 3600.0, 21 * 3600.0, 520.0)),
+        )
+        assert t.carbon_at(3 * 3600.0) == pytest.approx(180.0)
+        assert t.carbon_at(12 * 3600.0) == pytest.approx(420.0)
+        expected = (6 * 180.0 + 4 * 520.0 + 14 * 420.0) / 24.0
+        assert t.mean_carbon(0, 86400) == pytest.approx(expected)
+
+    def test_energy_cost_and_co2(self):
+        from repro.sim.power import TariffModel
+
+        t = TariffModel(price=0.20, carbon=100.0)
+        assert t.energy_cost(3.6e6, 0.0, 60.0) == pytest.approx(0.20)
+        assert t.energy_co2(7.2e6, 0.0, 60.0) == pytest.approx(200.0)
+
+    def test_validation(self):
+        from repro.sim.power import TariffModel
+
+        with pytest.raises(ValueError, match="non-negative"):
+            TariffModel(price=-0.1)
+        with pytest.raises(ValueError, match="period"):
+            TariffModel(period=0.0)
+        with pytest.raises(ValueError, match="start < end"):
+            TariffModel(price_windows=((10.0, 5.0, 0.2),))
+        with pytest.raises(ValueError, match="overlap"):
+            TariffModel(price_windows=((0.0, 7200.0, 0.2), (3600.0, 9000.0, 0.3)))
+        with pytest.raises(ValueError, match="peak_start_hour"):
+            TariffModel.time_of_use(21, 16, 0.3, 0.1)
+
+    def test_from_csv_carbon_only(self, tmp_path):
+        from repro.sim.power import TariffModel
+
+        path = tmp_path / "carbon.csv"
+        path.write_text(
+            "time_s,carbon_g_per_kwh\n0,200\n21600,450\n61200,300\n"
+        )
+        t = TariffModel.from_csv(path, price=0.12)
+        assert t.carbon_at(0.0) == pytest.approx(200.0)
+        assert t.carbon_at(30000.0) == pytest.approx(450.0)
+        assert t.carbon_at(86000.0) == pytest.approx(300.0)  # last row to period end
+        assert t.price_at(30000.0) == pytest.approx(0.12)
+        expected = (21600 * 200 + (61200 - 21600) * 450 + (86400 - 61200) * 300) / 86400
+        assert t.mean_carbon(0, 86400) == pytest.approx(expected)
+
+    def test_from_csv_with_price_column(self, tmp_path):
+        from repro.sim.power import TariffModel
+
+        path = tmp_path / "tariff.csv"
+        path.write_text(
+            "time_s,carbon_g_per_kwh,price_usd_per_kwh\n0,200,0.05\n43200,500,0.25\n"
+        )
+        t = TariffModel.from_csv(path)
+        assert t.price_at(0.0) == pytest.approx(0.05)
+        assert t.price_at(50000.0) == pytest.approx(0.25)
+        assert t.mean_price(0, 86400) == pytest.approx(0.15)
+
+    def test_from_csv_errors(self, tmp_path):
+        from repro.sim.power import TariffModel
+
+        bad_header = tmp_path / "a.csv"
+        bad_header.write_text("hello,world\n0,1\n")
+        with pytest.raises(ValueError, match="header"):
+            TariffModel.from_csv(bad_header)
+
+        bad_row = tmp_path / "b.csv"
+        bad_row.write_text("time_s,carbon_g_per_kwh\n0,2OO\n")
+        with pytest.raises(ValueError, match="unparseable"):
+            TariffModel.from_csv(bad_row)
+
+        not_at_zero = tmp_path / "c.csv"
+        not_at_zero.write_text("time_s,carbon_g_per_kwh\n100,200\n")
+        with pytest.raises(ValueError, match="start at"):
+            TariffModel.from_csv(not_at_zero)
+
+        not_increasing = tmp_path / "d.csv"
+        not_increasing.write_text("time_s,carbon_g_per_kwh\n0,200\n500,300\n500,400\n")
+        with pytest.raises(ValueError, match="increasing"):
+            TariffModel.from_csv(not_increasing)
+
+        empty = tmp_path / "e.csv"
+        empty.write_text("time_s,carbon_g_per_kwh\n")
+        with pytest.raises(ValueError, match="no rows"):
+            TariffModel.from_csv(empty)

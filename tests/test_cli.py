@@ -103,13 +103,63 @@ class TestExecution:
         for name in registry.names():
             assert name in captured
 
-    def test_scenario_run_tiny(self, capsys):
+    def test_scenario_run_tiny(self, capsys, tmp_path):
         rc = main(["scenario", "run", "--name", "paper-default",
-                   "--system", "packing", "--jobs", "60"])
+                   "--system", "packing", "--jobs", "60",
+                   "--cache-dir", str(tmp_path)])
         assert rc == 0
         captured = capsys.readouterr().out
         assert "paper-default" in captured
         assert "energy" in captured
+
+    def test_scenario_run_journals_schema_v3_result(self, capsys, tmp_path):
+        import json
+
+        from repro.scenarios.store import SCHEMA_VERSION
+
+        rc = main(["scenario", "run", "--name", "paper-default",
+                   "--system", "packing", "--jobs", "60",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        records = list(tmp_path.glob("*/*.json"))
+        assert len(records) == 1
+        record = json.loads(records[0].read_text())
+        assert record["schema"] == SCHEMA_VERSION == 3
+        assert "cost_series" in record["result"]
+        assert "co2_series" in record["result"]
+
+    def test_scenario_run_journal_is_a_sweep_cache_hit(self, capsys, tmp_path):
+        # A journaled `scenario run` cell must come back cached when a
+        # sweep later covers the same point.
+        rc = main(["scenario", "run", "--name", "paper-default",
+                   "--system", "packing", "--jobs", "60",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        rc = main(["scenario", "sweep", "--scenarios", "paper-default",
+                   "--systems", "packing", "--jobs", "60", "--workers", "1",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "1 cached, 0 computed" in capsys.readouterr().out
+
+    def test_scenario_run_google_replay_fixture(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "--name", "google-replay",
+                   "--trace", "tests/fixtures/google_task_events_small.csv",
+                   "--jobs", "80", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "google-replay" in captured
+        assert "electricity" in captured  # tariff-backed cost/CO₂ line
+        assert len(list(tmp_path.glob("*/*.json"))) == 1
+
+    def test_scenario_run_trace_reroutes_any_scenario(self, capsys, tmp_path):
+        # --trace turns a synthetic scenario into a replay of the files.
+        rc = main(["scenario", "run", "--name", "tou-price-shift",
+                   "--trace", "tests/fixtures/google_task_events_small.csv",
+                   "--jobs", "40", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "tou-price-shift" in captured
+        assert "electricity" in captured
 
     @pytest.mark.slow
     def test_scenario_sweep_with_cache(self, capsys, tmp_path):
@@ -166,3 +216,22 @@ class TestExecution:
         text = out.read_text()
         assert "acc_latency_s" in text
         assert "energy_kwh" in text
+
+
+class TestScenarioRunPositional:
+    def test_positional_name_accepted(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "google-replay",
+                   "--trace", "tests/fixtures/google_task_events_small.csv",
+                   "--jobs", "40", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "google-replay" in capsys.readouterr().out
+
+    def test_missing_name_errors(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "scenario name" in capsys.readouterr().err
+
+    def test_conflicting_names_error(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "paper-default", "--name", "tenant-mix",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 2

@@ -81,3 +81,123 @@ class TestGenerateMixture:
     def test_needs_a_class(self):
         with pytest.raises(ValueError, match="job class"):
             generate_mixture([], n_jobs=10, horizon=100.0)
+
+
+class TestCorrelated:
+    @staticmethod
+    def _bursty(n=400):
+        from repro.workload.synthetic import SyntheticTraceConfig
+
+        return SyntheticTraceConfig(
+            n_jobs=n,
+            horizon=86_400.0,
+            burst_rate_multiplier=6.0,
+            burst_on_mean=1_200.0,
+            burst_off_mean=7_200.0,
+        )
+
+    @staticmethod
+    def _binned_corr(a, b, horizon=86_400.0, bin_s=1_800.0):
+        import numpy as np
+
+        bins = np.arange(0.0, horizon + bin_s, bin_s)
+        ha, _ = np.histogram([j.arrival_time for j in a], bins)
+        hb, _ = np.histogram([j.arrival_time for j in b], bins)
+        return float(np.corrcoef(ha, hb)[0, 1])
+
+    def test_shapes_and_counts(self):
+        from repro.workload.mixtures import correlated_traces
+
+        cfg = self._bursty()
+        traces = correlated_traces([(cfg, 100), (cfg, 250)], 86_400.0, seed=1)
+        assert [len(t) for t in traces] == [100, 250]
+        for trace in traces:
+            arrivals = [j.arrival_time for j in trace]
+            assert arrivals == sorted(arrivals)
+            assert [j.job_id for j in trace] == list(range(len(trace)))
+
+    def test_coupling_raises_cross_cluster_correlation(self):
+        from repro.workload.mixtures import correlated_traces
+
+        cfg = self._bursty()
+        coupled = correlated_traces([(cfg, 400), (cfg, 400)], 86_400.0,
+                                    seed=3, coupling=1.0)
+        independent = correlated_traces([(cfg, 400), (cfg, 400)], 86_400.0,
+                                        seed=3, coupling=0.0)
+        r_coupled = self._binned_corr(*coupled)
+        r_indep = self._binned_corr(*independent)
+        # Deterministic given the seed: coupled streams surge together.
+        assert r_coupled > r_indep + 0.3
+        assert r_coupled > 0.5
+
+    def test_zero_coupling_still_shares_diurnal_phase(self):
+        from repro.workload.mixtures import correlated_traces
+        from repro.workload.synthetic import SyntheticTraceConfig
+
+        # Pure diurnal (no bursts): phase sharing alone must correlate.
+        cfg = SyntheticTraceConfig(
+            n_jobs=600, horizon=86_400.0, diurnal_amplitude=0.85,
+            burst_rate_multiplier=1.0,
+        )
+        a, b = correlated_traces([(cfg, 600), (cfg, 600)], 86_400.0,
+                                 seed=5, coupling=0.0)
+        assert self._binned_corr(a, b) > 0.3
+
+    def test_validation(self):
+        from repro.workload.mixtures import correlated_traces
+
+        cfg = self._bursty()
+        with pytest.raises(ValueError, match="at least one cluster"):
+            correlated_traces([], 86_400.0)
+        with pytest.raises(ValueError, match="coupling"):
+            correlated_traces([(cfg, 10)], 86_400.0, coupling=1.5)
+        with pytest.raises(ValueError, match="at least one job"):
+            correlated_traces([(cfg, 0)], 86_400.0)
+
+    def test_adding_a_cluster_does_not_perturb_others(self):
+        from repro.workload.mixtures import correlated_traces
+
+        cfg = self._bursty()
+        two = correlated_traces([(cfg, 50), (cfg, 50)], 86_400.0, seed=7)
+        three = correlated_traces([(cfg, 50), (cfg, 50), (cfg, 50)], 86_400.0,
+                                  seed=7)
+        assert two[0] == three[0]
+        assert two[1] == three[1]
+
+    def test_mixture_merges_sorted_and_weighted(self):
+        from repro.workload.mixtures import generate_correlated_mixture
+
+        cfg = self._bursty()
+        mix = generate_correlated_mixture([(cfg, 0.75), (cfg, 0.25)], 200,
+                                          86_400.0, seed=2, coupling=1.0)
+        assert len(mix) == 200
+        arrivals = [j.arrival_time for j in mix]
+        assert arrivals == sorted(arrivals)
+        assert [j.job_id for j in mix] == list(range(200))
+
+    def test_burst_windows_bounded_and_ordered(self, rng):
+        from repro.workload.mixtures import sample_burst_windows
+
+        windows = sample_burst_windows(self._bursty(), 86_400.0, rng)
+        flat = [t for w in windows for t in w]
+        assert flat == sorted(flat)
+        assert all(0.0 <= s < e <= 2 * 86_400.0 for s, e in windows)
+
+    def test_heterogeneous_duty_cycles_keep_base_rate(self):
+        # Regression: the duty-cycle correction must mix the SHARED
+        # chain's duty with the stream's own (per the coupling weight);
+        # normalizing by the stream's own duty alone suppressed the
+        # realized rate of any cluster whose sojourn parameters differ
+        # from the shared (first) cluster's.
+        from dataclasses import replace
+
+        from repro.workload.mixtures import correlated_traces
+
+        calm = self._bursty(400)  # long off periods: low duty
+        frantic = replace(calm, burst_off_mean=900.0)  # high duty
+        horizon = 86_400.0
+        _, trace_b = correlated_traces(
+            [(calm, 400), (frantic, 400)], horizon, seed=11, coupling=1.0
+        )
+        # 400 jobs at frantic.base_rate should span roughly the horizon.
+        assert trace_b[-1].arrival_time == pytest.approx(horizon, rel=0.25)

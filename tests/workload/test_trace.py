@@ -44,6 +44,30 @@ class TestCsvRoundtrip:
         with pytest.raises(ValueError, match="fields"):
             read_trace_csv(path)
 
+    def test_more_than_three_dims_raises(self, tmp_path):
+        # Regression: res[:3] used to silently truncate the 4th dimension,
+        # so a write/read round-trip lost data instead of failing loudly.
+        jobs = [Job(0, 0.0, 60.0, (0.5, 0.2, 0.1, 0.3))]
+        with pytest.raises(ValueError, match="resource dimensions"):
+            write_trace_csv(jobs, tmp_path / "t.csv")
+
+    def test_nan_field_raises(self, tmp_path):
+        job = Job(0, 0.0, 60.0, (0.5, 0.2, 0.1))
+        job.arrival_time = float("nan")  # bypasses __post_init__ validation
+        with pytest.raises(ValueError, match="NaN"):
+            write_trace_csv([job], tmp_path / "t.csv")
+
+    def test_nan_resource_raises(self, tmp_path):
+        job = Job(0, 0.0, 60.0, (0.5, 0.2, 0.1))
+        job.resources = (0.5, float("nan"), 0.1)
+        with pytest.raises(ValueError, match="NaN"):
+            write_trace_csv([job], tmp_path / "t.csv")
+
+    def test_fewer_dims_still_padded(self, tmp_path):
+        # <= 3 dims keep the documented zero-padding behaviour.
+        path = tmp_path / "t.csv"
+        assert write_trace_csv([Job(0, 0.0, 60.0, (0.5, 0.5, 0.5))], path) == 1
+
 
 class TestJobsFromArrays:
     def test_basic(self):
@@ -139,3 +163,102 @@ class TestGoogleTaskEvents:
         jobs = read_google_task_events([path])
         arrivals = [j.arrival_time for j in jobs]
         assert arrivals == sorted(arrivals)
+
+
+class TestGoogleIncarnations:
+    """Job-ID reuse (RESUBMIT cycles) must pair per incarnation.
+
+    Regression: the reader used to pair the *first* SUBMIT with the
+    *first* FINISH per job ID, so ID reuse fabricated one wrong-duration
+    job and dropped the rest.
+    """
+
+    def test_id_reuse_yields_one_job_per_incarnation(self, tmp_path):
+        path = tmp_path / "p.csv"
+        rows = [
+            google_row(0, 5, 0, 0.5, 0.2, 0.1),  # incarnation A: submit t=0
+            google_row(100_000_000, 5, 4, 0.5, 0.2, 0.1),  # finish t=100
+            google_row(1_000_000_000, 5, 0, 0.3, 0.3, 0.3),  # B: submit t=1000
+            google_row(1_200_000_000, 5, 4, 0.3, 0.3, 0.3),  # finish t=1200
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        jobs = read_google_task_events([path])
+        assert [j.duration for j in jobs] == [pytest.approx(100.0), pytest.approx(200.0)]
+        assert jobs[0].resources == (0.5, 0.2, 0.1)
+        assert jobs[1].resources == (0.3, 0.3, 0.3)
+
+    def test_reuse_with_out_of_order_rows(self, tmp_path):
+        # The second incarnation's rows appear *first* in the file; pairing
+        # must follow timestamps, not file order.
+        path = tmp_path / "p.csv"
+        rows = [
+            google_row(1_000_000_000, 5, 0, 0.3, 0.3, 0.3),  # B submit t=1000
+            google_row(1_200_000_000, 5, 4, 0.3, 0.3, 0.3),  # B finish t=1200
+            google_row(0, 5, 0, 0.5, 0.2, 0.1),  # A submit t=0
+            google_row(100_000_000, 5, 4, 0.5, 0.2, 0.1),  # A finish t=100
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        jobs = read_google_task_events([path])
+        assert [j.duration for j in jobs] == [pytest.approx(100.0), pytest.approx(200.0)]
+
+    def test_filtered_incarnation_does_not_consume_the_next(self, tmp_path):
+        # Incarnation A is too short to keep, but its FINISH must still
+        # close it so incarnation B pairs with its own SUBMIT.
+        path = tmp_path / "p.csv"
+        rows = [
+            google_row(0, 9, 0, 0.5, 0.2, 0.1),  # A submit t=0
+            google_row(5_000_000, 9, 4, 0.5, 0.2, 0.1),  # A finish t=5 (< 60 s)
+            google_row(100_000_000, 9, 0, 0.5, 0.2, 0.1),  # B submit t=100
+            google_row(400_000_000, 9, 4, 0.5, 0.2, 0.1),  # B finish t=400
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        jobs = read_google_task_events([path])
+        assert [j.duration for j in jobs] == [pytest.approx(300.0)]
+
+    def test_finish_without_submit_ignored(self, tmp_path):
+        path = tmp_path / "p.csv"
+        rows = [
+            google_row(0, 3, 4, 0.5, 0.2, 0.1),  # orphan finish (window cut)
+            google_row(10_000_000, 3, 0, 0.5, 0.2, 0.1),  # submit t=10
+            google_row(130_000_000, 3, 4, 0.5, 0.2, 0.1),  # finish t=130
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        jobs = read_google_task_events([path])
+        assert [j.duration for j in jobs] == [pytest.approx(120.0)]
+
+    def test_duplicate_submit_keeps_first(self, tmp_path):
+        path = tmp_path / "p.csv"
+        rows = [
+            google_row(0, 4, 0, 0.5, 0.2, 0.1),
+            google_row(20_000_000, 4, 0, 0.9, 0.9, 0.9),  # duplicate submit
+            google_row(120_000_000, 4, 4, 0.5, 0.2, 0.1),
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        jobs = read_google_task_events([path])
+        assert len(jobs) == 1
+        assert jobs[0].duration == pytest.approx(120.0)
+        assert jobs[0].resources == (0.5, 0.2, 0.1)
+
+    def test_reuse_across_files(self, tmp_path):
+        # Incarnations split across part files still pair by timestamp.
+        a, b = tmp_path / "part-0.csv", tmp_path / "part-1.csv"
+        a.write_text(
+            "\n".join(
+                [
+                    google_row(0, 6, 0, 0.5, 0.2, 0.1),
+                    google_row(90_000_000, 6, 4, 0.5, 0.2, 0.1),
+                ]
+            )
+            + "\n"
+        )
+        b.write_text(
+            "\n".join(
+                [
+                    google_row(500_000_000, 6, 0, 0.4, 0.2, 0.1),
+                    google_row(700_000_000, 6, 4, 0.4, 0.2, 0.1),
+                ]
+            )
+            + "\n"
+        )
+        jobs = read_google_task_events([a, b])
+        assert [j.duration for j in jobs] == [pytest.approx(90.0), pytest.approx(200.0)]
