@@ -291,8 +291,16 @@ def test_bench_hotpath(rig, out_dir, bench_seed):
         "drl_sim_jobs_per_sec": round(jobs_per_sec, 1),
         "e2e_jobs": E2E_JOBS,
     }
-    text = json.dumps(payload, indent=2)
-    (REPO_ROOT / "BENCH_hotpath.json").write_text(text + "\n")
+    # Merge over the existing trajectory file: other benches (e.g. the
+    # federation-dispatch bench) contribute their own top-level keys.
+    out_path = REPO_ROOT / "BENCH_hotpath.json"
+    try:
+        merged = json.loads(out_path.read_text())
+    except (OSError, ValueError):
+        merged = {}
+    merged.update(payload)
+    text = json.dumps(merged, indent=2)
+    out_path.write_text(text + "\n")
     save_artifact(out_dir, "BENCH_hotpath.json", text)
 
     assert epoch_speedup >= MIN_SPEEDUP, (

@@ -11,7 +11,8 @@ Usage::
     python -m repro scenario list
     python -m repro scenario run   --name NAME [--system SYS] [--jobs N]
                                    [--shards S] [--workers W] [--warm]
-                                   [--trace CSV...]
+                                   [--trace CSV...] [--sites N]
+                                   [--federation POLICY]
     python -m repro scenario sweep [--scenarios a,b] [--systems x,y]
                                    [--seeds 0,1] [--jobs N] [--workers W]
                                    [--resume] [--no-warm-start]
@@ -160,6 +161,56 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                   "(positional or --name)", file=sys.stderr)
             return 2
         spec = registry.get(name)
+        if args.sites is not None:
+            from repro.scenarios.specs import SiteSpec
+
+            if args.sites < 1:
+                print("error: --sites needs a positive site count",
+                      file=sys.stderr)
+                return 2
+            if spec.sites:
+                print(f"error: scenario {spec.name!r} is already federated; "
+                      "--sites only replicates single-cluster scenarios",
+                      file=sys.stderr)
+                return 2
+            # Replicate the scenario into N identical sites (each with
+            # the scenario's fleet and tariff) under the requested
+            # federation policy. Spec validation rejects combinations a
+            # federation cannot carry (multi-class workloads, unknown
+            # policies, churn windows, ...).
+            try:
+                spec = dc_replace(
+                    spec,
+                    sites=tuple(
+                        SiteSpec(f"site{i}", fleet=spec.fleet, tariff=spec.tariff)
+                        for i in range(args.sites)
+                    ),
+                    federation=(
+                        args.federation if args.federation is not None
+                        else "least-loaded" if args.sites > 1 else "home"
+                    ),
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        elif args.federation is not None and not spec.sites:
+            print("error: --federation needs a federated scenario or --sites",
+                  file=sys.stderr)
+            return 2
+        elif args.federation is not None:
+            try:
+                spec = dc_replace(spec, federation=args.federation)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        if spec.sites and args.shards > 1:
+            print("error: --shards does not compose with federated "
+                  "scenarios yet", file=sys.stderr)
+            return 2
+        if spec.sites and len(spec.sites) > 1 and args.trace:
+            print("error: --trace replays support a single site",
+                  file=sys.stderr)
+            return 2
         if args.trace:
             from repro.scenarios.specs import TraceReplaySpec, WorkloadSpec
 
@@ -191,13 +242,13 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         online_epochs = _default(cold, "online_epochs")
         local_epochs = _default(cold, "local_epochs")
         if args.warm:
-            from repro.harness.runner import needs_global_tier
             from repro.scenarios.checkpoints import (
                 CheckpointStore,
                 ensure_checkpoint,
+                needs_policy,
             )
 
-            if not needs_global_tier(args.system):
+            if not needs_policy(spec, args.system):
                 print(f"# {args.system} trains no policy; --warm ignored",
                       file=sys.stderr)
             else:
@@ -249,11 +300,22 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             f"mean latency: {cell['mean_latency_s']:.1f} s  "
             f"power: {cell['average_power_w']:.2f} W",
         ]
-        if spec.tariff is not None:
+        if spec.tariff is not None or any(s.tariff for s in spec.sites):
             lines.append(
                 f"electricity: ${cell.get('cost_usd', 0.0):.2f}  "
                 f"CO2: {cell.get('co2_kg', 0.0):.2f} kg"
             )
+        if cell.get("sites"):
+            lines.append(f"federation: {cell.get('federation', spec.federation)}")
+            for site in cell["sites"]:
+                lines.append(
+                    f"  site {site['site']}: servers {site['num_servers']}  "
+                    f"home {site['n_jobs_home']}  served "
+                    f"{site['n_jobs_completed']}  "
+                    f"energy {site['energy_kwh']:.2f} kWh  "
+                    f"cost ${site['cost_usd']:.2f}  "
+                    f"CO2 {site['co2_kg']:.2f} kg"
+                )
         _emit("\n".join(lines), args.out)
         return 0
 
@@ -350,6 +412,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "scenario's workload (Google task-events format "
                              "unless the scenario's replay spec says "
                              "otherwise); e.g. real cluster-usage part files")
+    sc_run.add_argument("--sites", type=int, default=None, metavar="N",
+                        help="replicate a single-cluster scenario into a "
+                             "federation of N identical sites (each with the "
+                             "scenario's fleet and tariff)")
+    sc_run.add_argument("--federation", default=None, metavar="POLICY",
+                        help="federation-tier dispatch policy (home, "
+                             "least-loaded, price-greedy, carbon-greedy, "
+                             "drl); default for --sites N>1: least-loaded")
     sc_run.add_argument("--shards", type=int, default=1,
                         help="split the evaluation trace into this many "
                              "warm-handoff segments run in parallel "

@@ -12,6 +12,9 @@
 * :mod:`repro.core.baselines` — round-robin and friends, fixed-timeout /
   always-on / immediate-sleep DPM.
 * :mod:`repro.core.hierarchical` — builders wiring complete systems.
+* :mod:`repro.core.federation` — the tier above the paper's hierarchy:
+  cross-site dispatchers for multi-cluster federations, including a DRL
+  dispatcher reusing the Sub-Q machinery over per-site aggregates.
 """
 
 from repro.core.baselines import (
@@ -29,6 +32,14 @@ from repro.core.config import (
     LocalTierConfig,
     PredictorConfig,
 )
+from repro.core.federation import (
+    DRLFederationBroker,
+    FederationStateView,
+    LeastLoadedSiteBroker,
+    StaticHomeBroker,
+    TariffGreedySiteBroker,
+    make_federation_broker,
+)
 from repro.core.global_tier import DRLGlobalBroker, offline_pretrain
 from repro.core.hierarchical import (
     HierarchicalSystem,
@@ -41,7 +52,11 @@ from repro.core.hierarchical import (
 from repro.core.local_tier import RLPowerPolicy
 from repro.core.predictor import InterArrivalTracker, WorkloadPredictor
 from repro.core.qnetwork import FlatQNetwork, HierarchicalQNetwork
-from repro.core.rewards import GlobalRewardWeights, global_reward_rate, local_reward_rate
+from repro.core.rewards import (
+    GlobalRewardWeights,
+    global_reward_rate,
+    local_reward_rate,
+)
 from repro.core.state import StateEncoder
 
 __all__ = [
@@ -56,7 +71,13 @@ __all__ = [
     "GlobalTierConfig",
     "LocalTierConfig",
     "PredictorConfig",
+    "DRLFederationBroker",
     "DRLGlobalBroker",
+    "FederationStateView",
+    "LeastLoadedSiteBroker",
+    "StaticHomeBroker",
+    "TariffGreedySiteBroker",
+    "make_federation_broker",
     "offline_pretrain",
     "HierarchicalSystem",
     "build_drl_only",

@@ -113,7 +113,10 @@ class DRLGlobalBroker(Broker):
                     self.weights, energy - e0, vm_time - v0, overload - o0, tau
                 )
                 if self.config.reward_clip is not None:
-                    rate = max(min(rate, self.config.reward_clip), -self.config.reward_clip)
+                    rate = max(
+                        min(rate, self.config.reward_clip),
+                        -self.config.reward_clip,
+                    )
             else:
                 rate = 0.0
             reward = self._reward_scale * smdp_discounted_reward(

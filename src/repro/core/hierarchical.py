@@ -60,7 +60,9 @@ class HierarchicalSystem:
             num_resources=self.config.num_resources,
             overload_threshold=self.config.overload_threshold,
             initially_on=self.initially_on,
-            record_every=record_every if record_every is not None else self.config.record_every,
+            record_every=(
+                record_every if record_every is not None else self.config.record_every
+            ),
             keep_jobs=keep_jobs,
             capacity_events=capacity_events,
             tariff=tariff,

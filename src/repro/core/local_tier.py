@@ -111,7 +111,9 @@ class RLPowerPolicy(PowerPolicy):
     # Value updates
     # ------------------------------------------------------------------
 
-    def _complete_pending(self, server: Server, now: float, next_state: Hashable, next_n: int) -> None:
+    def _complete_pending(
+        self, server: Server, now: float, next_state: Hashable, next_n: int
+    ) -> None:
         pending = self._pending
         if pending is None or not self.learning_enabled:
             return
@@ -136,7 +138,9 @@ class RLPowerPolicy(PowerPolicy):
             next_n,
         )
 
-    def _record(self, server: Server, now: float, state: Hashable, action: int, n_actions: int) -> None:
+    def _record(
+        self, server: Server, now: float, state: Hashable, action: int, n_actions: int
+    ) -> None:
         self._pending = _Pending(
             state=state,
             action=action,
@@ -178,7 +182,9 @@ class RLPowerPolicy(PowerPolicy):
     def on_run_end(self, server: Server, now: float) -> None:
         """Flush the last open sojourn against a terminal idle state."""
         if self._pending is not None:
-            self._complete_pending(server, now, self._state(IDLE), self._n_actions(IDLE))
+            self._complete_pending(
+                server, now, self._state(IDLE), self._n_actions(IDLE)
+            )
             self._pending = None
         self.tracker.new_run()
 

@@ -48,7 +48,9 @@ class InterArrivalTracker:
             return None
         delta = now - self._last_arrival
         if delta < 0:
-            raise ValueError(f"arrival time went backwards: {now} < {self._last_arrival}")
+            raise ValueError(
+                f"arrival time went backwards: {now} < {self._last_arrival}"
+            )
         self._last_arrival = now
         self._window.append(delta)
         self.observations += 1
@@ -116,7 +118,9 @@ class WorkloadPredictor:
     # ------------------------------------------------------------------
 
     def _clip(self, seconds: np.ndarray) -> np.ndarray:
-        return np.clip(seconds, self.config.min_interarrival, self.config.max_interarrival)
+        return np.clip(
+            seconds, self.config.min_interarrival, self.config.max_interarrival
+        )
 
     def transform(self, seconds: np.ndarray) -> np.ndarray:
         """Map inter-arrival seconds into the network's [0, 1] input space."""

@@ -60,7 +60,8 @@ class StateEncoder:
             raise ValueError("num_servers, num_resources, num_groups must be positive")
         if num_servers % num_groups != 0:
             raise ValueError(
-                f"num_servers ({num_servers}) not divisible by num_groups ({num_groups})"
+                f"num_servers ({num_servers}) not divisible by "
+                f"num_groups ({num_groups})"
             )
         if max_duration <= 0:
             raise ValueError(f"max_duration must be positive, got {max_duration}")
@@ -100,7 +101,8 @@ class StateEncoder:
         """
         if len(cluster) != self.num_servers:
             raise ValueError(
-                f"cluster has {len(cluster)} servers, encoder expects {self.num_servers}"
+                f"cluster has {len(cluster)} servers, "
+                f"encoder expects {self.num_servers}"
             )
         util, power_on, queue = cluster.state_views()
         out = np.empty(self.state_dim)

@@ -10,10 +10,11 @@ package turns the reproduction into a *scenario machine*:
   :class:`ScenarioSpec`.
 * :mod:`repro.scenarios.registry` — named scenario lookup; import-safe
   registration of user scenarios alongside the builtins.
-* :mod:`repro.scenarios.builtin` — the ten stock scenarios, from
+* :mod:`repro.scenarios.builtin` — the twelve stock scenarios, from
   ``paper-default`` to Google-trace replay (``google-replay``),
-  electricity-aware runs (``carbon-aware-diurnal``, ``tou-price-shift``)
-  and a coincident-peak tenant fleet (``correlated-fleet``).
+  electricity-aware runs (``carbon-aware-diurnal``, ``tou-price-shift``),
+  a coincident-peak tenant fleet (``correlated-fleet``), and two
+  multi-site federations (``federated-correlated``, ``follow-the-sun``).
 * :mod:`repro.scenarios.store` — content-keyed JSON result cache under
   ``.repro-cache/`` so repeated sweeps return instantly.
 * :mod:`repro.scenarios.orchestrator` — fans a (scenario × system ×
@@ -24,17 +25,25 @@ package turns the reproduction into a *scenario machine*:
   large cell parallelizes too.
 * :mod:`repro.scenarios.checkpoints` — content-keyed policy weight
   blobs (train-once / evaluate-many): DRL cells sharing a training key
-  warm-start from one stored ``HierarchicalQNetwork`` + LSTM snapshot.
+  warm-start from one stored ``HierarchicalQNetwork`` + LSTM snapshot;
+  federated keys map to per-site snapshots plus the DRL federation
+  dispatcher's weights.
+* :mod:`repro.scenarios.federation` — federated cells: per-site
+  systems, the federation-tier dispatcher, and fleet simulations on one
+  event clock (``ScenarioSpec.sites``).
 """
 
 from repro.scenarios.checkpoints import (
     CheckpointStore,
+    FederationPolicyCheckpoint,
     PolicyCheckpoint,
     ensure_checkpoint,
+    needs_policy,
     train_policy,
     training_request,
     warm_scenario_system,
 )
+from repro.scenarios.federation import run_federated_cell
 from repro.scenarios.orchestrator import (
     SweepCell,
     SweepReport,
@@ -55,12 +64,14 @@ from repro.scenarios.sharding import (
     shard_trace,
 )
 from repro.scenarios.specs import (
+    FEDERATION_POLICIES,
     CapacityWindowSpec,
     FlashCrowdSpec,
     FleetSpec,
     JobClassSpec,
     ScenarioSpec,
     ServerClassSpec,
+    SiteSpec,
     TraceReplaySpec,
     WorkloadSpec,
 )
@@ -87,16 +98,21 @@ __all__ = [
     "scenario_catalog",
     "CapacityWindowSpec",
     "CheckpointStore",
+    "FEDERATION_POLICIES",
+    "FederationPolicyCheckpoint",
     "FleetSpec",
     "FlashCrowdSpec",
     "JobClassSpec",
     "PolicyCheckpoint",
     "ScenarioSpec",
     "ServerClassSpec",
+    "SiteSpec",
     "TraceReplaySpec",
     "WorkloadSpec",
     "ResultStore",
     "ensure_checkpoint",
+    "needs_policy",
+    "run_federated_cell",
     "train_policy",
     "training_request",
     "warm_scenario_system",

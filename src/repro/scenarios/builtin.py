@@ -1,12 +1,15 @@
 """The builtin scenario suite.
 
-Ten scenarios spanning the axes the ROADMAP cares about: the paper's
+Twelve scenarios spanning the axes the ROADMAP cares about: the paper's
 own setup, stronger diurnal swings, flash crowds, a mixed-efficiency
 fleet, rolling maintenance churn, a high-load two-tenant mix, real
-Google-trace replay, carbon- and price-aware electricity accounting,
-and a correlated (coincident-peak) tenant fleet. Each is a pure
-parameterization of :class:`~repro.scenarios.specs.ScenarioSpec`;
-importing this module registers all of them.
+Google-trace replay, carbon- and price-aware electricity accounting, a
+correlated (coincident-peak) tenant fleet, and two *federated*
+multi-site scenarios (correlated regional streams under least-loaded
+dispatch, and follow-the-sun price-greedy dispatch across shifted
+time-of-use tariffs). Each is a pure parameterization of
+:class:`~repro.scenarios.specs.ScenarioSpec`; importing this module
+registers all of them.
 
 Workload parameters deliberately stay within the generator's calibrated
 envelope (durations clipped to [1 min, 2 h], Beta resource demands) so
@@ -27,6 +30,7 @@ from repro.scenarios.specs import (
     JobClassSpec,
     ScenarioSpec,
     ServerClassSpec,
+    SiteSpec,
     TraceReplaySpec,
     WorkloadSpec,
     rolling_maintenance,
@@ -255,7 +259,73 @@ CORRELATED_FLEET = register(
     )
 )
 
-#: The ten stock scenarios, in catalog order.
+#: A compact 10-server site fleet (groups_for(10) = 2) reused by the
+#: federated scenarios; three of them match the paper's 30 servers.
+_SITE_FLEET = FleetSpec(classes=(ServerClassSpec("standard", 10),))
+
+FEDERATED_CORRELATED = register(
+    ScenarioSpec(
+        name="federated-correlated",
+        description="Three-site federation under fully burst-coupled regional streams; least-loaded cross-site dispatch",
+        workload=WorkloadSpec(
+            classes=(
+                JobClassSpec(
+                    "regional",
+                    1.0,
+                    replace(
+                        _BASE,
+                        diurnal_amplitude=0.5,
+                        burst_rate_multiplier=3.0,
+                        burst_on_mean=900.0,
+                    ),
+                ),
+            ),
+            burst_coupling=1.0,
+        ),
+        sites=(
+            # One grid per site: hydro-heavy, mixed-fossil, coal-heavy —
+            # identical fleets, so differences are pure dispatch.
+            SiteSpec("hydro", _SITE_FLEET, tariff=TariffModel(carbon=120.0)),
+            SiteSpec("mixed", _SITE_FLEET, tariff=TariffModel(carbon=420.0)),
+            SiteSpec("coal", _SITE_FLEET, tariff=TariffModel(carbon=760.0)),
+        ),
+        federation="least-loaded",
+    )
+)
+
+#: One time-of-use plan, read in three time zones (8 h apart): each
+#: site's peak window lands at a different absolute simulation time, so
+#: somewhere in the federation it is always off-peak.
+_TOU = TariffModel.time_of_use(
+    peak_start_hour=16.0,
+    peak_end_hour=21.0,
+    peak_price=0.32,
+    offpeak_price=0.08,
+)
+
+FOLLOW_THE_SUN = register(
+    ScenarioSpec(
+        name="follow-the-sun",
+        description="Three time zones, shifted time-of-use tariffs; price-greedy dispatch chases the off-peak site",
+        workload=WorkloadSpec(
+            classes=(
+                JobClassSpec(
+                    "diurnal",
+                    1.0,
+                    replace(_BASE, diurnal_amplitude=0.6, burst_rate_multiplier=2.0),
+                ),
+            ),
+        ),
+        sites=(
+            SiteSpec("apac", _SITE_FLEET, tariff=_TOU.shifted(-8 * 3600.0)),
+            SiteSpec("emea", _SITE_FLEET, tariff=_TOU),
+            SiteSpec("amer", _SITE_FLEET, tariff=_TOU.shifted(8 * 3600.0)),
+        ),
+        federation="price-greedy",
+    )
+)
+
+#: The twelve stock scenarios, in catalog order.
 BUILTIN_SCENARIOS = (
     PAPER_DEFAULT,
     DIURNAL_HEAVY,
@@ -267,4 +337,6 @@ BUILTIN_SCENARIOS = (
     CARBON_AWARE_DIURNAL,
     TOU_PRICE_SHIFT,
     CORRELATED_FLEET,
+    FEDERATED_CORRELATED,
+    FOLLOW_THE_SUN,
 )

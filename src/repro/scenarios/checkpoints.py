@@ -67,15 +67,19 @@ def training_request(
     Contains everything that shapes the trained weights — and nothing
     else, so evaluation-only knobs never invalidate a checkpoint. Note
     ``n_jobs`` *is* training-relevant: training segments are sized from
-    the evaluation trace length. The scenario's tariff is stripped:
-    electricity accounting is an evaluation-side lens over the same
-    joules (training rewards never see prices), so two scenarios
-    differing only in tariff share one policy — while a trace-replay
-    workload *does* change the key (different training segments) and can
-    never collide with a synthetic scenario's checkpoints.
+    the evaluation trace length. Tariffs are stripped — the scenario's
+    and, for federated scenarios, each site's: electricity accounting is
+    an evaluation-side lens over the same joules (training rewards never
+    see prices, and tariff-greedy federation dispatchers carry no
+    trained weights), so scenarios differing only in tariffs share one
+    policy — while a trace-replay workload *does* change the key
+    (different training segments) and can never collide with a synthetic
+    scenario's checkpoints.
     """
     scenario = spec.content_dict()
     scenario.pop("tariff", None)
+    for site in scenario.get("sites", ()):
+        site.pop("tariff", None)
     return {
         "scenario": scenario,
         "seed": seed,
@@ -83,6 +87,18 @@ def training_request(
         "pretrain": pretrain,
         "online_epochs": online_epochs,
     }
+
+
+def needs_policy(spec: ScenarioSpec, system: str) -> bool:
+    """Whether a (scenario, system) cell trains/loads any policy weights.
+
+    True for DRL cluster-tier systems (as before), and additionally for
+    any system on a federated scenario whose federation tier is the
+    learned DRL dispatcher.
+    """
+    return needs_global_tier(system) or (
+        spec.is_federated and spec.federation == "drl"
+    )
 
 
 @dataclass
@@ -217,6 +233,117 @@ def restore_predictor(
     return predictor
 
 
+@dataclass
+class FederationPolicyCheckpoint:
+    """Serialized controller weights for one *federated* training key.
+
+    One :class:`PolicyCheckpoint` per site (its cluster-tier prototype
+    and predictor) plus, when the scenario's federation tier is the DRL
+    dispatcher, the federation Q-network weights and annealed ε.
+    """
+
+    site_checkpoints: tuple[PolicyCheckpoint, ...]
+    fed_qnet_state: dict[str, np.ndarray] | None = None
+    fed_epsilon: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+
+def train_federation_policy(
+    spec: ScenarioSpec,
+    n_jobs: int = 600,
+    seed: int = 0,
+    pretrain: bool = True,
+    online_epochs: int = 1,
+    with_predictor: bool = True,
+) -> FederationPolicyCheckpoint:
+    """Train the shared controllers for one federated training key.
+
+    Per-site prototypes (and predictors) are trained exactly as the
+    cold federated cell trains them — same seed derivation
+    (:func:`~repro.scenarios.federation.derive_site_seeds`), same
+    per-site training segments. When the scenario's federation policy is
+    ``"drl"``, the dispatcher is then trained over a canonical fleet —
+    per-site ``drl-only`` systems cloned from the just-trained
+    prototypes (the federated analogue of Algorithm 1's seed-policy
+    experience collection) — and its weights captured alongside.
+    """
+    from repro.harness.runner import derive_cell_seeds
+    from repro.scenarios.federation import (
+        derive_site_seeds,
+        train_federation_broker,
+    )
+
+    trace_ss, system_seed = derive_cell_seeds(seed)
+    _, train_streams = spec.build_site_traces(n_jobs, trace_ss)
+    site_seeds, fed_seed = derive_site_seeds(system_seed, len(spec.sites))
+
+    site_checkpoints: list[PolicyCheckpoint] = []
+    for i in range(len(spec.sites)):
+        config = spec.site_experiment_config(i, seed=seed)
+        site_train = [segment[i] for segment in train_streams]
+        broker = train_global_prototype(
+            config,
+            site_train,
+            pretrain=pretrain,
+            online_epochs=online_epochs,
+            seed=site_seeds[i],
+        )
+        predictor_state = None
+        predictor_fitted = False
+        if with_predictor:
+            predictor = build_pretrained_predictor(config, site_train, site_seeds[i])
+            predictor_state = predictor.network.state_dict()
+            predictor_fitted = predictor.fitted
+        site_checkpoints.append(
+            PolicyCheckpoint(
+                qnet_state=broker.qnet.state_dict(),
+                epsilon=broker.epsilon,
+                predictor_state=predictor_state,
+                predictor_fitted=predictor_fitted,
+                predictor_attempted=with_predictor,
+                meta={"arch": broker.qnet.describe()},
+            )
+        )
+
+    request = training_request(spec, n_jobs, seed, pretrain, online_epochs)
+    checkpoint = FederationPolicyCheckpoint(
+        site_checkpoints=tuple(site_checkpoints),
+        meta={"request": request},
+    )
+    if spec.federation == "drl":
+        # Canonical fed-training fleet: warm drl-only sites from the
+        # checkpoints above, then let the dispatcher learn over them.
+        from repro.core.federation import DRLFederationBroker, make_federation_broker
+        from repro.harness.runner import make_system
+
+        systems = []
+        for i in range(len(spec.sites)):
+            config = spec.site_experiment_config(i, seed=seed)
+            site_train = [segment[i] for segment in train_streams]
+            systems.append(
+                make_system(
+                    "drl-only",
+                    config,
+                    site_train,
+                    global_prototype=restore_prototype(
+                        site_checkpoints[i], config, site_seeds[i]
+                    ),
+                    seed=site_seeds[i],
+                )
+            )
+        broker = make_federation_broker(
+            spec.federation, len(spec.sites), rng=np.random.default_rng(fed_seed)
+        )
+        assert isinstance(broker, DRLFederationBroker)
+        train_federation_broker(
+            spec, systems, broker, train_streams, online_epochs=online_epochs
+        )
+        checkpoint.fed_qnet_state = broker.qnet.state_dict()
+        checkpoint.fed_epsilon = broker.epsilon
+        checkpoint.meta["fed_arch"] = broker.qnet.describe()
+    return checkpoint
+
+
 def warm_scenario_system(
     name: str,
     spec: ScenarioSpec,
@@ -324,6 +451,138 @@ class CheckpointStore(ContentAddressedStore):
         }
         return save_states(self.path_for(key), states, meta)
 
+    def get_federation(
+        self,
+        key: str,
+        need_predictor: bool = False,
+        need_fed_policy: bool = False,
+    ) -> FederationPolicyCheckpoint | None:
+        """Load a federated checkpoint, or None on miss.
+
+        Single-cluster blobs under the same key space miss (``kind``
+        gate), as do blobs missing any site's Q-network, a requested
+        predictor, or — with ``need_fed_policy`` — the federation
+        dispatcher's weights.
+        """
+        path = self.path_for(key)
+        try:
+            states, meta = load_states(path)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self._discard(path)
+            return None
+        if meta.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+            return None
+        if meta.get("kind") != "federation":
+            return None
+        site_meta = meta.get("sites")
+        if not isinstance(site_meta, list) or not site_meta:
+            return None
+        sites: list[PolicyCheckpoint] = []
+        for i, entry in enumerate(site_meta):
+            qnet = states.get(f"site{i}_qnet")
+            if qnet is None:
+                return None
+            predictor_attempted = bool(entry.get("predictor_attempted", False))
+            if need_predictor and not predictor_attempted:
+                return None
+            sites.append(
+                PolicyCheckpoint(
+                    qnet_state=qnet,
+                    epsilon=float(entry.get("epsilon", 0.0)),
+                    predictor_state=states.get(f"site{i}_predictor"),
+                    predictor_fitted=bool(entry.get("predictor_fitted", False)),
+                    predictor_attempted=predictor_attempted,
+                    meta={k: entry[k] for k in ("arch",) if k in entry},
+                )
+            )
+        fed_state = states.get("fed_qnet")
+        if need_fed_policy and fed_state is None:
+            return None
+        return FederationPolicyCheckpoint(
+            site_checkpoints=tuple(sites),
+            fed_qnet_state=fed_state,
+            fed_epsilon=float(meta.get("fed_epsilon", 0.0)),
+            meta={k: meta[k] for k in ("fed_arch", "request") if k in meta},
+        )
+
+    def put_federation(
+        self, key: str, checkpoint: FederationPolicyCheckpoint
+    ) -> Path:
+        """Atomically persist a federated checkpoint; returns its path."""
+        states: dict[str, dict[str, np.ndarray]] = {}
+        site_meta = []
+        for i, site in enumerate(checkpoint.site_checkpoints):
+            states[f"site{i}_qnet"] = site.qnet_state
+            if site.predictor_state is not None:
+                states[f"site{i}_predictor"] = site.predictor_state
+            site_meta.append(
+                {
+                    "epsilon": site.epsilon,
+                    "predictor_fitted": site.predictor_fitted,
+                    "predictor_attempted": site.predictor_attempted,
+                    **{k: site.meta[k] for k in ("arch",) if k in site.meta},
+                }
+            )
+        if checkpoint.fed_qnet_state is not None:
+            states["fed_qnet"] = checkpoint.fed_qnet_state
+        meta = {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "kind": "federation",
+            "sites": site_meta,
+            "fed_epsilon": checkpoint.fed_epsilon,
+            **checkpoint.meta,
+        }
+        return save_states(self.path_for(key), states, meta)
+
+
+#: Either checkpoint flavor — what the dispatchers below traffic in.
+AnyCheckpoint = "PolicyCheckpoint | FederationPolicyCheckpoint"
+
+
+def train_policy_any(
+    spec: ScenarioSpec,
+    n_jobs: int = 600,
+    seed: int = 0,
+    pretrain: bool = True,
+    online_epochs: int = 1,
+    with_predictor: bool = True,
+):
+    """Train the right checkpoint flavor for ``spec`` (federated or not)."""
+    trainer = train_federation_policy if spec.is_federated else train_policy
+    return trainer(
+        spec,
+        n_jobs=n_jobs,
+        seed=seed,
+        pretrain=pretrain,
+        online_epochs=online_epochs,
+        with_predictor=with_predictor,
+    )
+
+
+def load_checkpoint(
+    store: CheckpointStore,
+    key: str,
+    spec: ScenarioSpec,
+    need_predictor: bool = False,
+):
+    """Fetch the checkpoint flavor ``spec`` needs, or None on miss."""
+    if spec.is_federated:
+        return store.get_federation(
+            key,
+            need_predictor=need_predictor,
+            need_fed_policy=spec.federation == "drl",
+        )
+    return store.get(key, need_predictor=need_predictor)
+
+
+def store_checkpoint(store: CheckpointStore, key: str, checkpoint) -> Path:
+    """Persist either checkpoint flavor under ``key``."""
+    if isinstance(checkpoint, FederationPolicyCheckpoint):
+        return store.put_federation(key, checkpoint)
+    return store.put(key, checkpoint)
+
 
 def ensure_checkpoint(
     store: CheckpointStore | None,
@@ -334,14 +593,19 @@ def ensure_checkpoint(
     online_epochs: int = 1,
     with_predictor: bool = True,
     force: bool = False,
-) -> PolicyCheckpoint:
-    """Load the checkpoint for a training key, training (and storing) on miss."""
+):
+    """Load the checkpoint for a training key, training (and storing) on miss.
+
+    Dispatches on the scenario flavor: federated scenarios load/train
+    :class:`FederationPolicyCheckpoint` blobs, single-cluster ones the
+    classic :class:`PolicyCheckpoint`.
+    """
     key = content_key(training_request(spec, n_jobs, seed, pretrain, online_epochs))
     if store is not None and not force:
-        cached = store.get(key, need_predictor=with_predictor)
+        cached = load_checkpoint(store, key, spec, need_predictor=with_predictor)
         if cached is not None:
             return cached
-    checkpoint = train_policy(
+    checkpoint = train_policy_any(
         spec,
         n_jobs=n_jobs,
         seed=seed,
@@ -350,18 +614,24 @@ def ensure_checkpoint(
         with_predictor=with_predictor,
     )
     if store is not None:
-        store.put(key, checkpoint)
+        store_checkpoint(store, key, checkpoint)
     return checkpoint
 
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointStore",
+    "FederationPolicyCheckpoint",
     "PolicyCheckpoint",
     "ensure_checkpoint",
+    "load_checkpoint",
+    "needs_policy",
     "restore_predictor",
     "restore_prototype",
+    "store_checkpoint",
+    "train_federation_policy",
     "train_policy",
+    "train_policy_any",
     "training_request",
     "warm_scenario_system",
 ]

@@ -1,0 +1,310 @@
+"""Federated scenario cells: build, train, warm-start, and run fleets.
+
+The counterpart of :func:`repro.harness.runner.make_scenario_system` /
+:func:`repro.scenarios.orchestrator.run_cell` for scenarios carrying a
+``sites`` tuple. One federated cell:
+
+1. derives its seeds exactly like a single-cluster cell
+   (:func:`~repro.harness.runner.derive_cell_seeds`), then — only when
+   there are several sites — spawns one independent system seed per site
+   plus one for the federation tier, so a federation of one remains the
+   *identical* experiment (bit-identical metrics) to the single-cluster
+   path;
+2. builds per-site home streams and training segments from the spec
+   (:meth:`~repro.scenarios.specs.ScenarioSpec.build_site_traces` —
+   correlated across sites);
+3. builds one named cluster-tier system per site (each trained on its
+   own segments, or warm-started from a
+   :class:`~repro.scenarios.checkpoints.FederationPolicyCheckpoint`);
+4. builds the federation-tier dispatcher named by ``spec.federation``
+   (training the DRL dispatcher over the training streams when cold);
+5. simulates all sites on one event clock and flattens the result into
+   the sweep-cell dict shape, with per-site breakdowns under
+   ``"sites"``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.federation import DRLFederationBroker, make_federation_broker
+from repro.core.hierarchical import HierarchicalSystem
+from repro.harness.runner import (
+    derive_cell_seeds,
+    make_system,
+    needs_global_tier,
+)
+from repro.scenarios.specs import ScenarioSpec
+from repro.sim.churn import schedule_capacity_events
+from repro.sim.cluster import Cluster
+from repro.sim.events import EventQueue
+from repro.sim.federation import FederationEngine, FederationResult, Site
+from repro.sim.interfaces import FederationBroker
+from repro.sim.job import Job
+from repro.sim.metrics import MetricsCollector, SeriesPoint
+
+if TYPE_CHECKING:  # pragma: no cover - type-only, avoids an import cycle
+    from repro.scenarios.checkpoints import FederationPolicyCheckpoint
+
+
+def derive_site_seeds(system_seed: int, n_sites: int) -> tuple[list[int], int]:
+    """Per-site system seeds plus the federation-tier seed.
+
+    A federation of one reuses ``system_seed`` itself for its only site
+    — that is what makes a single-site federated cell the bit-identical
+    twin of the single-cluster cell; multi-site federations spawn one
+    independent child stream per site (adding a site never perturbs the
+    others' controllers).
+    """
+    ss = np.random.SeedSequence(system_seed)
+    if n_sites == 1:
+        (fed_child,) = ss.spawn(1)
+        return [system_seed], int(fed_child.generate_state(1)[0])
+    *site_children, fed_child = ss.spawn(n_sites + 1)
+    return (
+        [int(child.generate_state(1)[0]) for child in site_children],
+        int(fed_child.generate_state(1)[0]),
+    )
+
+
+def build_federation_engine(
+    spec: ScenarioSpec,
+    systems: Sequence[HierarchicalSystem],
+    broker: FederationBroker | None,
+    record_every: int = 200,
+    keep_jobs: bool = False,
+    with_tariffs: bool = True,
+) -> FederationEngine:
+    """Fresh per-site clusters on one shared clock, wired to ``systems``.
+
+    The federated analogue of
+    :meth:`~repro.core.hierarchical.HierarchicalSystem.build_engine`:
+    every call builds new clusters (simulations are single-use) around
+    the systems' live controllers, so training passes and the evaluation
+    run reuse the same learned state. ``with_tariffs=False`` builds the
+    tariff-blind engines training uses.
+    """
+    events = EventQueue()
+    sites = []
+    for site_spec, system in zip(spec.sites, systems):
+        config = system.config
+        cluster = Cluster(
+            num_servers=config.num_servers,
+            power_model=config.fleet_power_models,
+            events=events,
+            policies=system.policies,
+            num_resources=config.num_resources,
+            overload_threshold=config.overload_threshold,
+            initially_on=system.initially_on,
+        )
+        tariff = site_spec.tariff if with_tariffs else None
+        sites.append(
+            Site(
+                name=site_spec.name,
+                cluster=cluster,
+                broker=system.broker,
+                metrics=MetricsCollector(
+                    record_every=record_every, keep_jobs=keep_jobs, tariff=tariff
+                ),
+                tariff=tariff,
+            )
+        )
+    return FederationEngine(sites, broker)
+
+
+def train_federation_broker(
+    spec: ScenarioSpec,
+    systems: Sequence[HierarchicalSystem],
+    broker: FederationBroker | None,
+    train_streams: Sequence[Sequence[list[Job]]],
+    online_epochs: int = 1,
+) -> None:
+    """Online-train a learning federation dispatcher over the fleet.
+
+    Runs the whole federation (the given per-site systems, tariff-blind)
+    over every training segment ``online_epochs`` times; the DRL
+    dispatcher accumulates fleet-level SMDP transitions and trains its
+    Sub-Q network along the way, exactly like the cluster tier's online
+    phase. Non-learning dispatchers make this a no-op.
+    """
+    if not isinstance(broker, DRLFederationBroker):
+        return
+    for _ in range(online_epochs):
+        for segment_streams in train_streams:
+            engine = build_federation_engine(
+                spec, systems, broker, with_tariffs=False
+            )
+            engine.run([[job.copy() for job in s] for s in segment_streams])
+
+
+def build_federated_cell(
+    system: str,
+    spec: ScenarioSpec,
+    n_jobs: int,
+    seed: int = 0,
+    pretrain: bool = True,
+    online_epochs: int = 1,
+    local_epochs: int = 1,
+    checkpoint: "FederationPolicyCheckpoint | None" = None,
+) -> tuple[list[HierarchicalSystem], FederationBroker | None, list[list[Job]]]:
+    """Build (and train or warm-start) everything one federated cell needs.
+
+    Returns ``(site_systems, federation_broker, eval_streams)`` ready
+    for :func:`build_federation_engine` + run. With a ``checkpoint``,
+    per-site DRL prototypes/predictors and the DRL federation dispatcher
+    are restored from the stored weights instead of trained in-cell.
+    """
+    from repro.scenarios.checkpoints import restore_predictor, restore_prototype
+
+    trace_ss, system_seed = derive_cell_seeds(seed)
+    eval_streams, train_streams = spec.build_site_traces(n_jobs, trace_ss)
+    n_sites = len(spec.sites)
+    site_seeds, fed_seed = derive_site_seeds(system_seed, n_sites)
+
+    systems: list[HierarchicalSystem] = []
+    for i in range(n_sites):
+        config = spec.site_experiment_config(i, seed=seed)
+        site_train = [segment[i] for segment in train_streams]
+        make_kwargs: dict = {}
+        if checkpoint is not None and needs_global_tier(system):
+            site_ckpt = checkpoint.site_checkpoints[i]
+            make_kwargs["global_prototype"] = restore_prototype(
+                site_ckpt, config, site_seeds[i]
+            )
+            if system == "hierarchical":
+                make_kwargs["predictor"] = restore_predictor(
+                    site_ckpt, config, site_seeds[i]
+                )
+        systems.append(
+            make_system(
+                system,
+                config,
+                site_train,
+                seed=site_seeds[i],
+                pretrain=pretrain,
+                online_epochs=online_epochs,
+                local_epochs=local_epochs,
+                **make_kwargs,
+            )
+        )
+
+    broker = make_federation_broker(
+        spec.federation, n_sites, rng=np.random.default_rng(fed_seed)
+    )
+    if isinstance(broker, DRLFederationBroker):
+        if checkpoint is not None and checkpoint.fed_qnet_state is not None:
+            fed_arch = checkpoint.meta.get("fed_arch")
+            if fed_arch is not None and fed_arch != broker.qnet.describe():
+                raise ValueError(
+                    "federation checkpoint geometry does not match the "
+                    f"scenario: blob carries {fed_arch}, scenario needs "
+                    f"{broker.qnet.describe()}"
+                )
+            broker.qnet.load_state_dict(checkpoint.fed_qnet_state)
+            broker.epsilon = checkpoint.fed_epsilon
+        else:
+            train_federation_broker(
+                spec, systems, broker, train_streams, online_epochs=online_epochs
+            )
+    return systems, broker, eval_streams
+
+
+def _series_payload(series: Sequence[SeriesPoint]) -> dict[str, list]:
+    return {
+        "latency_series": [[int(p.n_completed), float(p.acc_latency)] for p in series],
+        "energy_series": [[int(p.n_completed), float(p.energy_kwh)] for p in series],
+        "cost_series": [[int(p.n_completed), float(p.cost_usd)] for p in series],
+        "co2_series": [[int(p.n_completed), float(p.co2_kg)] for p in series],
+    }
+
+
+def _site_payload(
+    result: FederationResult, eval_streams: Sequence[list[Job]]
+) -> list[dict]:
+    payload = []
+    for site, stream in zip(result.sites, eval_streams):
+        metrics = site.metrics
+        payload.append(
+            {
+                "site": site.name,
+                "num_servers": site.num_servers,
+                "n_jobs_home": len(stream),
+                "n_jobs_completed": metrics.n_completed,
+                "energy_kwh": metrics.total_energy_kwh(),
+                "acc_latency_s": metrics.acc_latency,
+                "mean_latency_s": metrics.mean_latency,
+                "average_power_w": metrics.average_power_watts(),
+                "cost_usd": metrics.total_cost_usd(),
+                "co2_kg": metrics.total_co2_kg(),
+                **_series_payload(metrics.series),
+            }
+        )
+    return payload
+
+
+def run_federated_cell(
+    spec: ScenarioSpec,
+    system: str,
+    n_jobs: int = 600,
+    seed: int = 0,
+    record_every: int = 200,
+    pretrain: bool = True,
+    online_epochs: int = 1,
+    local_epochs: int = 1,
+    checkpoint: "FederationPolicyCheckpoint | None" = None,
+) -> dict:
+    """Run one federated (scenario, system, seed) cell.
+
+    The federated counterpart of
+    :func:`repro.scenarios.orchestrator.run_cell` (which dispatches
+    here): same protocol knobs, same deterministic seed derivation, and
+    a result dict carrying the same fleet-level keys — aggregations and
+    sweep tables work unchanged — plus ``"federation"`` (the dispatch
+    policy) and ``"sites"`` (per-site totals and series, the schema-v4
+    breakdown).
+    """
+    systems, broker, eval_streams = build_federated_cell(
+        system,
+        spec,
+        n_jobs,
+        seed=seed,
+        pretrain=pretrain,
+        online_epochs=online_epochs,
+        local_epochs=local_epochs,
+        checkpoint=checkpoint,
+    )
+    engine = build_federation_engine(
+        spec, systems, broker, record_every=record_every
+    )
+    events = spec.capacity_events(spec.horizon_for(n_jobs))
+    if events:
+        # Only single-site federations can carry churn today (validated
+        # by the spec), and it targets the lone site's cluster.
+        schedule_capacity_events(engine.sites[0].cluster, events)
+    result = engine.run([[job.copy() for job in stream] for stream in eval_streams])
+    n_completed = result.n_completed
+    energy_kwh = result.total_energy_kwh
+    return {
+        "scenario": spec.name,
+        "system": system,
+        "seed": seed,
+        "n_jobs_offered": sum(len(stream) for stream in eval_streams),
+        "n_jobs_completed": n_completed,
+        "num_servers": spec.num_servers_total,
+        "energy_kwh": energy_kwh,
+        "acc_latency_s": result.accumulated_latency,
+        "mean_latency_s": result.mean_latency,
+        "average_power_w": result.average_power_watts,
+        "energy_per_job_wh": (
+            energy_kwh * 1000.0 / n_completed if n_completed else 0.0
+        ),
+        "final_time_s": result.final_time,
+        "capacity_events": len(events),
+        "cost_usd": result.total_cost_usd,
+        "co2_kg": result.total_co2_kg,
+        **_series_payload(result.fleet_series),
+        "federation": spec.federation,
+        "sites": _site_payload(result, eval_streams),
+    }

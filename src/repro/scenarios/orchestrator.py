@@ -35,11 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.harness.report import format_csv, format_table
-from repro.harness.runner import (
-    make_scenario_system,
-    needs_global_tier,
-    run_system,
-)
+from repro.harness.runner import make_scenario_system, run_system
 from repro.scenarios import checkpoints as ckpt
 from repro.scenarios import registry
 from repro.scenarios.specs import ScenarioSpec
@@ -81,14 +77,16 @@ def _protocol_dict(
 def cell_request(cell: SweepCell, protocol: dict, warm_start: bool = False) -> dict:
     """The content-keyed request payload identifying one cell's result.
 
-    Warm-started DRL cells carry ``"warm_start": True`` in their
-    protocol — they follow the shared-prototype training protocol, which
-    is a different experiment than train-per-cell, so the two must never
-    share cache slots. Non-DRL cells are unaffected either way and keep
-    identical keys under both modes.
+    Warm-started policy-bearing cells (DRL cluster systems, and any
+    system on a federated scenario with the DRL dispatcher) carry
+    ``"warm_start": True`` in their protocol — they follow the
+    shared-prototype training protocol, which is a different experiment
+    than train-per-cell, so the two must never share cache slots.
+    Policy-free cells are unaffected either way and keep identical keys
+    under both modes.
     """
     payload = dict(protocol)
-    if warm_start and needs_global_tier(cell.system):
+    if warm_start and ckpt.needs_policy(cell.spec, cell.system):
         payload["warm_start"] = True
     return {
         "scenario": cell.spec.content_dict(),
@@ -107,7 +105,7 @@ def run_cell(
     pretrain: bool = True,
     online_epochs: int = 1,
     local_epochs: int = 1,
-    checkpoint: "ckpt.PolicyCheckpoint | None" = None,
+    checkpoint: "ckpt.PolicyCheckpoint | ckpt.FederationPolicyCheckpoint | None" = None,
 ) -> dict:
     """Run one (scenario, system, seed) cell and return JSON-able metrics.
 
@@ -120,8 +118,26 @@ def run_cell(
     from the stored weights instead of being trained in-cell
     (train-once / evaluate-many; see
     :func:`repro.scenarios.checkpoints.warm_scenario_system`).
+
+    Federated scenarios (a non-empty ``sites`` tuple) dispatch to
+    :func:`repro.scenarios.federation.run_federated_cell` — same
+    protocol knobs, same result keys, plus per-site breakdowns.
     """
     spec = registry.get(scenario) if isinstance(scenario, str) else scenario
+    if spec.is_federated:
+        from repro.scenarios.federation import run_federated_cell
+
+        return run_federated_cell(
+            spec,
+            system,
+            n_jobs=n_jobs,
+            seed=seed,
+            record_every=record_every,
+            pretrain=pretrain,
+            online_epochs=online_epochs,
+            local_epochs=local_epochs,
+            checkpoint=checkpoint,
+        )
     if checkpoint is not None:
         built, eval_jobs, events = ckpt.warm_scenario_system(
             system,
@@ -218,10 +234,10 @@ def _execute_cell(args: tuple) -> dict:
     )
 
 
-def _train_policy_task(args: tuple) -> "ckpt.PolicyCheckpoint":
+def _train_policy_task(args: tuple):
     """Process-pool entry point for one training group's policy."""
     spec, n_jobs, seed, pretrain, online_epochs, with_predictor = args
-    return ckpt.train_policy(
+    return ckpt.train_policy_any(
         spec,
         n_jobs=n_jobs,
         seed=seed,
@@ -412,7 +428,7 @@ def sweep(
         groups: dict[str, list[int]] = {}
         if warm_start:
             for i in pending:
-                if not needs_global_tier(cells[i].system):
+                if not ckpt.needs_policy(cells[i].spec, cells[i].system):
                     continue
                 tkey = content_key(
                     ckpt.training_request(
@@ -426,14 +442,19 @@ def sweep(
                 group_keys[i] = tkey
                 groups.setdefault(tkey, []).append(i)
 
-        policies: dict[str, ckpt.PolicyCheckpoint] = {}
+        policies: dict = {}
         to_train: list[tuple[str, int, bool]] = []
         for tkey, members in groups.items():
             need_predictor = any(
                 cells[i].system == "hierarchical" for i in members
             )
             blob = (
-                ckpt_store.get(tkey, need_predictor=need_predictor)
+                ckpt.load_checkpoint(
+                    ckpt_store,
+                    tkey,
+                    cells[members[0]].spec,
+                    need_predictor=need_predictor,
+                )
                 if ckpt_store is not None and not force
                 else None
             )
@@ -464,11 +485,11 @@ def sweep(
                 policies.get(group_keys.get(i)),
             )
 
-        def register_policy(j: int, policy: ckpt.PolicyCheckpoint) -> None:
+        def register_policy(j: int, policy) -> None:
             tkey, cell_index, _ = to_train[j]
             policies[tkey] = policy
             if ckpt_store is not None:
-                ckpt_store.put(tkey, policy)
+                ckpt.store_checkpoint(ckpt_store, tkey, policy)
             done["trained"] += 1
             cell = cells[cell_index]
             emit(
@@ -576,29 +597,48 @@ def _run_pipelined(
 
 
 def aggregate_rows(results: Sequence[dict]) -> list[dict]:
-    """Mean metrics per (scenario, system) across seeds, in first-seen order."""
+    """Mean metrics per (scenario, system) across seeds, in first-seen order.
+
+    Federated cells (results carrying a ``"sites"`` breakdown) yield one
+    fleet-level row plus one row per site, labeled
+    ``scenario[site-name]``, so sweep tables and CSVs show per-site
+    cost/CO₂ without a schema change.
+    """
     groups: dict[tuple[str, str], list[dict]] = {}
     for result in results:
         groups.setdefault((result["scenario"], result["system"]), []).append(result)
     rows = []
-    for (scenario, system), bucket in groups.items():
+
+    def mean_row(label: str, system: str, bucket: list[dict]) -> dict:
         n = len(bucket)
-        rows.append(
-            {
-                "scenario": scenario,
-                "system": system,
-                "num_servers": bucket[0]["num_servers"],
-                "n_seeds": n,
-                "energy_kwh": sum(r["energy_kwh"] for r in bucket) / n,
-                "acc_latency_1e6_s": sum(r["acc_latency_s"] for r in bucket) / n / 1e6,
-                "mean_latency_s": sum(r["mean_latency_s"] for r in bucket) / n,
-                "average_power_w": sum(r["average_power_w"] for r in bucket) / n,
-                # .get(): rows synthesized by tests (or pre-v3 records fed
-                # in directly) may lack the electricity account.
-                "cost_usd": sum(r.get("cost_usd", 0.0) for r in bucket) / n,
-                "co2_kg": sum(r.get("co2_kg", 0.0) for r in bucket) / n,
-            }
-        )
+        return {
+            "scenario": label,
+            "system": system,
+            "num_servers": bucket[0]["num_servers"],
+            "n_seeds": n,
+            "energy_kwh": sum(r["energy_kwh"] for r in bucket) / n,
+            "acc_latency_1e6_s": sum(r["acc_latency_s"] for r in bucket) / n / 1e6,
+            "mean_latency_s": sum(r["mean_latency_s"] for r in bucket) / n,
+            # .get(): per-site entries have no fleet average power, and
+            # rows synthesized by tests (or pre-v3 records fed in
+            # directly) may lack the electricity account.
+            "average_power_w": sum(r.get("average_power_w", 0.0) for r in bucket) / n,
+            "cost_usd": sum(r.get("cost_usd", 0.0) for r in bucket) / n,
+            "co2_kg": sum(r.get("co2_kg", 0.0) for r in bucket) / n,
+        }
+
+    for (scenario, system), bucket in groups.items():
+        rows.append(mean_row(scenario, system, bucket))
+        n_sites = min(len(r.get("sites") or []) for r in bucket)
+        for s in range(n_sites):
+            site_bucket = [r["sites"][s] for r in bucket]
+            rows.append(
+                mean_row(
+                    f"{scenario}[{site_bucket[0].get('site', s)}]",
+                    system,
+                    site_bucket,
+                )
+            )
     return rows
 
 
@@ -610,19 +650,22 @@ def aggregate_series_rows(results: Sequence[dict]) -> list[dict]:
     series point-by-point (truncating to the shortest — churned cells
     can complete slightly fewer jobs) and averages the values, yielding
     one long-form row per (scenario, system, series, sample point).
+    Federated cells additionally yield per-site series rows labeled
+    ``scenario[site-name]``.
     """
     groups: dict[tuple[str, str], list[dict]] = {}
     for result in results:
         groups.setdefault((result["scenario"], result["system"]), []).append(result)
     rows: list[dict] = []
-    for (scenario, system), bucket in groups.items():
+
+    def emit(label: str, system: str, bucket: list[dict]) -> None:
         for series in ("latency", "energy", "cost", "co2"):
             per_seed = [r.get(f"{series}_series") or [] for r in bucket]
             n_points = min((len(s) for s in per_seed), default=0)
             for p in range(n_points):
                 rows.append(
                     {
-                        "scenario": scenario,
+                        "scenario": label,
                         "system": system,
                         "series": series,
                         "n_jobs": int(per_seed[0][p][0]),
@@ -630,6 +673,15 @@ def aggregate_series_rows(results: Sequence[dict]) -> list[dict]:
                         "n_seeds": len(per_seed),
                     }
                 )
+
+    for (scenario, system), bucket in groups.items():
+        emit(scenario, system, bucket)
+        n_sites = min(len(r.get("sites") or []) for r in bucket)
+        for s in range(n_sites):
+            site_bucket = [r["sites"][s] for r in bucket]
+            emit(
+                f"{scenario}[{site_bucket[0].get('site', s)}]", system, site_bucket
+            )
     return rows
 
 

@@ -75,11 +75,12 @@ def scenario_catalog() -> str:
     rows = []
     for spec in all_scenarios():
         fleet = spec.fleet
-        fleet_desc = (
-            f"{fleet.num_servers}"
-            if not fleet.is_heterogeneous
-            else f"{fleet.num_servers} ({len(fleet.classes)} classes)"
-        )
+        if spec.is_federated:
+            fleet_desc = f"{spec.num_servers_total} ({len(spec.sites)} sites)"
+        elif fleet.is_heterogeneous:
+            fleet_desc = f"{fleet.num_servers} ({len(fleet.classes)} classes)"
+        else:
+            fleet_desc = f"{fleet.num_servers}"
         rows.append(
             [
                 spec.name,

@@ -204,6 +204,11 @@ def run_cell_sharded(
     if shards < 1:
         raise ValueError(f"shards must be positive, got {shards}")
     spec = registry.get(scenario) if isinstance(scenario, str) else scenario
+    if spec.is_federated:
+        raise ValueError(
+            f"scenario {spec.name!r} is federated; trace sharding does not "
+            "compose with multi-site runs yet"
+        )
     if checkpoint is not None:
         built, eval_jobs, events = warm_scenario_system(
             system,

@@ -27,10 +27,30 @@ from repro.scenarios.store import content_key
 from repro.sim.churn import CapacityEvent
 from repro.sim.job import Job
 from repro.sim.power import PowerModel, TariffModel
-from repro.workload.mixtures import generate_correlated_mixture, generate_mixture
+from repro.workload.mixtures import (
+    correlated_traces,
+    generate_correlated_mixture,
+    generate_mixture,
+)
 from repro.workload.segments import rebase
 from repro.workload.synthetic import SyntheticTraceConfig, reference_rate
-from repro.workload.trace import read_google_task_events, read_trace_csv
+from repro.workload.trace import (
+    read_google_machine_events,
+    read_google_task_events,
+    read_trace_csv,
+)
+
+#: Federation-tier dispatch policies a scenario may name. Kept as the
+#: scenario-layer vocabulary so importing specs stays light; the
+#: implementations (and the matching tuple) live in
+#: :mod:`repro.core.federation`.
+FEDERATION_POLICIES = (
+    "home",
+    "least-loaded",
+    "price-greedy",
+    "carbon-greedy",
+    "drl",
+)
 
 
 def groups_for(num_servers: int) -> int:
@@ -210,6 +230,13 @@ class TraceReplaySpec:
         evaluation picks thin the whole recording uniformly (training
         segments thin at the same rate, covering roughly the leading
         ``train_fraction`` of it).
+    machine_events:
+        Optional Google *machine events* files/globs. When set, the
+        scenario additionally replays the recording's capacity churn:
+        REMOVE/ADD pairs become
+        :class:`~repro.sim.churn.CapacityEvent` drains (see
+        :func:`~repro.workload.trace.read_google_machine_events`), with
+        the same ``time_compression`` applied.
     """
 
     paths: tuple[str, ...]
@@ -218,12 +245,19 @@ class TraceReplaySpec:
     max_duration: float = 7_200.0
     time_compression: float = 1.0
     split: str = "head"
+    machine_events: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if isinstance(self.paths, (str, Path)):  # a lone path is a common slip
             object.__setattr__(self, "paths", (str(self.paths),))
         else:
             object.__setattr__(self, "paths", tuple(str(p) for p in self.paths))
+        if isinstance(self.machine_events, (str, Path)):
+            object.__setattr__(self, "machine_events", (str(self.machine_events),))
+        else:
+            object.__setattr__(
+                self, "machine_events", tuple(str(p) for p in self.machine_events)
+            )
         if not self.paths:
             raise ValueError("trace replay needs at least one path or glob")
         if self.format not in ("google", "canonical"):
@@ -247,6 +281,46 @@ class TraceReplaySpec:
         outlive the file contents they were computed from.
         """
         return _trace_fingerprints(self.paths)
+
+    def machine_event_fingerprints(
+        self,
+    ) -> tuple[tuple[str, int | None, int | None], ...]:
+        """``(path, size, mtime_ns)`` of each resolved machine-events file."""
+        return _trace_fingerprints(self.machine_events)
+
+    def load_capacity_events(
+        self, num_servers: int, horizon: float
+    ) -> tuple[CapacityEvent, ...]:
+        """The recording's churn schedule, compressed and horizon-clipped.
+
+        Machine REMOVE/ADD cycles map onto the simulated fleet (machines
+        assigned to server slots round-robin in first-seen order), times
+        divide by ``time_compression`` like job arrivals, drains still
+        open at the end of the recording close at ``horizon``, and
+        events starting past ``horizon`` are dropped — they would only
+        stretch the drain phase of a run whose jobs have all arrived.
+        """
+        if not self.machine_events:
+            return ()
+        events = read_google_machine_events(
+            _resolve_trace_paths(self.machine_events),
+            num_servers=num_servers,
+            open_duration=horizon * self.time_compression,
+        )
+        clipped = []
+        for event in events:
+            time = event.time / self.time_compression
+            if time >= horizon:
+                continue
+            clipped.append(
+                CapacityEvent(
+                    time=time,
+                    server_id=event.server_id,
+                    duration=event.duration / self.time_compression,
+                    fraction=event.fraction,
+                )
+            )
+        return tuple(clipped)
 
     def _records(self) -> tuple[tuple[float, float, tuple[float, ...]], ...]:
         """Cached parsed rows; raises if the files hold no usable jobs."""
@@ -586,6 +660,42 @@ class FleetSpec:
 
 
 @dataclass(frozen=True)
+class SiteSpec:
+    """One member site of a federated scenario.
+
+    Sites may differ in fleet composition (and therefore power models),
+    electricity tariff (market and time zone — see
+    :meth:`~repro.sim.power.TariffModel.shifted`), and workload share.
+
+    Parameters
+    ----------
+    name:
+        Site label (cosmetic; excluded from content keys like all other
+        labels).
+    fleet:
+        The site's cluster composition.
+    tariff:
+        The site's price/carbon signal; per-site cost and CO₂ accounts
+        are integrated against it.
+    weight:
+        The site's share of the fleet-wide job stream (normalized over
+        sites); the *home* stream — the federation tier may still move
+        jobs elsewhere.
+    """
+
+    name: str
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    tariff: TariffModel | None = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("site name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"site weight must be positive, got {self.weight}")
+
+
+@dataclass(frozen=True)
 class CapacityWindowSpec:
     """A churn window (maintenance drain / failure) on a set of servers.
 
@@ -672,6 +782,15 @@ class ScenarioSpec:
     results then carry cost ($) and CO₂ (kg) series alongside energy.
     The tariff never enters training — it is an accounting lens over the
     same joules, so it shapes result content keys but not training keys.
+
+    ``sites`` turns the scenario *federated*: instead of one cluster,
+    the simulation runs a fleet of sites (each with its own fleet,
+    tariff, and home workload share) on one event clock, with the
+    ``federation`` policy dispatching arrivals across sites before each
+    site's own broker places them on servers. A single-entry ``sites``
+    tuple is exactly the single-cluster experiment (bit-identical
+    metrics); an empty one (the default) keeps the classic
+    single-cluster path.
     """
 
     name: str
@@ -681,10 +800,42 @@ class ScenarioSpec:
     capacity_windows: tuple[CapacityWindowSpec, ...] = ()
     overload_threshold: float = 0.9
     tariff: TariffModel | None = None
+    sites: tuple[SiteSpec, ...] = ()
+    federation: str = "home"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario name must be non-empty")
+        if self.federation not in FEDERATION_POLICIES:
+            raise ValueError(
+                f"unknown federation policy {self.federation!r}; "
+                f"known: {FEDERATION_POLICIES}"
+            )
+        if not self.sites and self.federation != "home":
+            raise ValueError(
+                f"scenario {self.name!r}: federation policy "
+                f"{self.federation!r} needs a non-empty sites tuple"
+            )
+        if self.sites:
+            if self.capacity_windows:
+                raise ValueError(
+                    f"scenario {self.name!r}: capacity windows are not "
+                    "supported on federated scenarios yet"
+                )
+            if len(self.sites) > 1:
+                if self.workload.replay is not None:
+                    raise ValueError(
+                        f"scenario {self.name!r}: trace replay supports a "
+                        "single site; multi-site replay needs a per-site "
+                        "recording split"
+                    )
+                if len(self.workload.classes) != 1 or self.workload.flash_crowds:
+                    raise ValueError(
+                        f"scenario {self.name!r}: multi-site workloads are "
+                        "generated per site from one job class (coupled via "
+                        "burst_coupling); use a single class without flash "
+                        "crowds"
+                    )
         for window in self.capacity_windows:
             bad = [s for s in window.servers if s >= self.fleet.num_servers]
             if bad:
@@ -693,34 +844,151 @@ class ScenarioSpec:
                     f"{bad} outside the {self.fleet.num_servers}-server fleet"
                 )
 
-    def experiment_config(self, seed: int = 0) -> ExperimentConfig:
-        """The simulation/controller configuration this scenario implies."""
-        models = self.fleet.power_models()
+    @property
+    def is_federated(self) -> bool:
+        return bool(self.sites)
+
+    @property
+    def num_servers_total(self) -> int:
+        """Servers fleet-wide: across all sites, or the single cluster."""
+        if self.sites:
+            return sum(site.fleet.num_servers for site in self.sites)
+        return self.fleet.num_servers
+
+    def _fleet_config(self, fleet: FleetSpec, seed: int) -> ExperimentConfig:
         return ExperimentConfig(
-            num_servers=self.fleet.num_servers,
-            power_model=self.fleet.classes[0].power,
-            power_models=models,
+            num_servers=fleet.num_servers,
+            power_model=fleet.classes[0].power,
+            power_models=fleet.power_models(),
             overload_threshold=self.overload_threshold,
-            global_tier=GlobalTierConfig(num_groups=self.fleet.groups()),
+            global_tier=GlobalTierConfig(num_groups=fleet.groups()),
             seed=seed,
         )
+
+    def experiment_config(self, seed: int = 0) -> ExperimentConfig:
+        """The simulation/controller configuration this scenario implies."""
+        return self._fleet_config(self.fleet, seed)
+
+    def site_experiment_config(self, index: int, seed: int = 0) -> ExperimentConfig:
+        """Configuration for one member site of a federated scenario."""
+        return self._fleet_config(self.sites[index].fleet, seed)
 
     def build_traces(
         self, n_jobs: int, seed: int | np.random.SeedSequence
     ) -> tuple[list[Job], list[list[Job]]]:
-        """Evaluation trace plus training segments for this scenario."""
-        return self.workload.build(n_jobs, self.fleet.num_servers, seed)
+        """Evaluation trace plus training segments for this scenario.
+
+        Raises
+        ------
+        ValueError
+            On a multi-site scenario — its per-site streams come from
+            :meth:`build_site_traces` instead.
+        """
+        if len(self.sites) > 1:
+            raise ValueError(
+                f"scenario {self.name!r} is federated; use build_site_traces"
+            )
+        return self.workload.build(n_jobs, self.num_servers_total, seed)
+
+    def build_site_traces(
+        self, n_jobs: int, seed: int | np.random.SeedSequence
+    ) -> tuple[list[list[Job]], list[list[list[Job]]]]:
+        """Per-site home streams plus per-site training segments.
+
+        Returns ``(eval_streams, train_streams)`` with
+        ``eval_streams[i]`` site *i*'s home evaluation stream and
+        ``train_streams[k][i]`` site *i*'s slice of training segment
+        *k*. Sites draw their shares of ``n_jobs`` from their weights
+        over one shared horizon, generated *correlated* — one shared
+        diurnal phase and, to ``workload.burst_coupling`` (default 0),
+        one shared burst timeline — so cross-site load peaks coincide
+        the way real fleets' do. A federation of one delegates to the
+        single-cluster :meth:`WorkloadSpec.build` and is therefore the
+        identical experiment.
+        """
+        if not self.sites:
+            raise ValueError(
+                f"scenario {self.name!r} has no sites; use build_traces"
+            )
+        workload = self.workload
+        if len(self.sites) == 1:
+            eval_jobs, segments = workload.build(
+                n_jobs, self.num_servers_total, seed
+            )
+            return [eval_jobs], [[segment] for segment in segments]
+        ss = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        eval_ss, *train_ss = ss.spawn(1 + workload.n_train_segments)
+        total_weight = sum(site.weight for site in self.sites)
+        config = workload.classes[0].trace
+        coupling = (
+            workload.burst_coupling if workload.burst_coupling is not None else 0.0
+        )
+
+        def site_jobs(total: int) -> list[int]:
+            return [
+                max(1, round(total * site.weight / total_weight))
+                for site in self.sites
+            ]
+
+        def renumber(streams: list[list[Job]]) -> list[list[Job]]:
+            # Per-site traces each start numbering at 0; a federation
+            # mixes them on shared clusters, so IDs must be unique
+            # fleet-wide (they key per-server queue/running maps).
+            offset = 0
+            for stream in streams:
+                for job in stream:
+                    job.job_id += offset
+                offset += len(stream)
+            return streams
+
+        horizon = workload.horizon_for(n_jobs, self.num_servers_total)
+        eval_streams = renumber(
+            correlated_traces(
+                [(config, n) for n in site_jobs(n_jobs)],
+                horizon=horizon,
+                seed=eval_ss,
+                coupling=coupling,
+            )
+        )
+        train_total = max(int(n_jobs * workload.train_fraction), 200)
+        train_horizon = workload.horizon_for(train_total, self.num_servers_total)
+        train_streams = [
+            renumber(
+                correlated_traces(
+                    [(config, n) for n in site_jobs(train_total)],
+                    horizon=train_horizon,
+                    seed=child,
+                    coupling=coupling,
+                )
+            )
+            for child in train_ss
+        ]
+        return eval_streams, train_streams
 
     def capacity_events(self, horizon: float) -> tuple[CapacityEvent, ...]:
-        """Concrete churn schedule for a trace spanning ``horizon`` seconds."""
+        """Concrete churn schedule for a trace spanning ``horizon`` seconds.
+
+        Fraction-of-span windows come first; a replay workload carrying
+        Google machine-events files appends the recording's own
+        REMOVE/ADD churn, mapped onto this scenario's fleet.
+        """
         events: list[CapacityEvent] = []
         for window in self.capacity_windows:
             events.extend(window.to_events(horizon))
+        replay = self.workload.replay
+        if replay is not None and replay.machine_events:
+            events.extend(
+                replay.load_capacity_events(self.num_servers_total, horizon)
+            )
         return tuple(events)
 
     def horizon_for(self, n_jobs: int) -> float:
         """Evaluation span (seconds) this scenario implies for ``n_jobs``."""
-        return self.workload.horizon_for(n_jobs, self.fleet.num_servers)
+        return self.workload.horizon_for(n_jobs, self.num_servers_total)
 
     # ------------------------------------------------------------------
     # Content identity (for the result cache)
@@ -744,10 +1012,19 @@ class ScenarioSpec:
             cls.pop("name")
         for cls in payload["fleet"]["classes"]:
             cls.pop("name")
+        for site in payload["sites"]:
+            site.pop("name")
+            for cls in site["fleet"]["classes"]:
+                cls.pop("name")
         if self.workload.replay is not None:
             payload["workload"]["replay"]["files"] = [
                 list(fp) for fp in self.workload.replay.file_fingerprints()
             ]
+            if self.workload.replay.machine_events:
+                payload["workload"]["replay"]["machine_files"] = [
+                    list(fp)
+                    for fp in self.workload.replay.machine_event_fingerprints()
+                ]
         return payload
 
     def content_key(self) -> str:

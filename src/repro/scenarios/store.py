@@ -26,7 +26,11 @@ from pathlib import Path
 #: v3: scenarios may replay recorded traces (``WorkloadSpec.replay``) and
 #: carry a tariff; results gain ``cost_usd``/``co2_kg`` totals plus
 #: ``cost_series``/``co2_series`` panels.
-SCHEMA_VERSION = 3
+#: v4: scenarios may be federated (``ScenarioSpec.sites`` +
+#: ``federation`` policy); federated results carry a ``"federation"``
+#: label and a per-site breakdown under ``"sites"`` (totals and series
+#: per site), with the top-level series fleet-wide merges.
+SCHEMA_VERSION = 4
 
 DEFAULT_ROOT = Path(".repro-cache")
 

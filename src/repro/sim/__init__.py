@@ -16,7 +16,14 @@ from repro.sim.churn import CapacityEvent, schedule_capacity_events
 from repro.sim.cluster import Cluster
 from repro.sim.engine import ClusterEngine, SimulationResult, build_simulation
 from repro.sim.events import EventQueue, ScheduledEvent
-from repro.sim.interfaces import Broker, PowerPolicy
+from repro.sim.federation import (
+    FederationEngine,
+    FederationResult,
+    Site,
+    build_federation,
+    merge_site_series,
+)
+from repro.sim.interfaces import Broker, FederationBroker, PowerPolicy
 from repro.sim.job import Job
 from repro.sim.metrics import MetricsCollector, SeriesPoint
 from repro.sim.power import PowerModel
@@ -31,7 +38,13 @@ __all__ = [
     "build_simulation",
     "EventQueue",
     "ScheduledEvent",
+    "FederationEngine",
+    "FederationResult",
+    "Site",
+    "build_federation",
+    "merge_site_series",
     "Broker",
+    "FederationBroker",
     "PowerPolicy",
     "Job",
     "MetricsCollector",

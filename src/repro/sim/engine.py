@@ -6,6 +6,13 @@ picks a server), and every server-side idle entry / wake-up is a
 local-tier decision epoch (handled inside :class:`~repro.sim.server.Server`
 via its policy). Between epochs, the simulated world evolves purely
 through scheduled events.
+
+Since the federation refactor, :class:`ClusterEngine` is the
+single-site special case of
+:class:`~repro.sim.federation.FederationEngine`: it wraps its cluster in
+one :class:`~repro.sim.federation.Site` and delegates the run loop, so
+the single-cluster simulator and a federation of one are the same code
+path (and therefore bit-identical).
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from typing import Iterable, Sequence
 from repro.sim.churn import CapacityEvent, schedule_capacity_events
 from repro.sim.cluster import Cluster
 from repro.sim.events import EventQueue
+from repro.sim.federation import FederationEngine, Site
 from repro.sim.interfaces import Broker, PowerPolicy
 from repro.sim.job import Job
 from repro.sim.metrics import MetricsCollector
@@ -70,23 +78,9 @@ class ClusterEngine:
         self.broker = broker
         self.events = cluster.events
         self.metrics = metrics if metrics is not None else MetricsCollector()
-        for server in cluster.servers:
-            server.on_finish = self._handle_finish
-
-    def _handle_finish(self, job: Job, now: float) -> None:
-        self.cluster.sync(now)
-        self.metrics.on_completion(job, now, self.cluster.total_energy())
-        self.broker.on_job_finish(job, self.cluster, now)
-
-    def _handle_arrival(self, job: Job, now: float) -> None:
-        self.metrics.on_arrival(job, now)
-        self.cluster.sync(now)
-        index = self.broker.select_server(job, self.cluster, now)
-        if not 0 <= index < len(self.cluster):
-            raise ValueError(
-                f"broker chose server {index} outside [0, {len(self.cluster)})"
-            )
-        self.cluster[index].assign(job, now)
+        self._federation = FederationEngine(
+            [Site(name="cluster", cluster=cluster, broker=broker, metrics=self.metrics)]
+        )
 
     def run(
         self,
@@ -98,7 +92,9 @@ class ClusterEngine:
 
         Jobs must be ordered by non-decreasing arrival time (the paper's
         traces are). Arrivals are scheduled lazily one at a time, so the
-        stream may be a generator of arbitrary length.
+        stream may be a generator of arbitrary length. Delegates to the
+        single-site federation built at construction (no federation
+        broker: every job stays "home").
 
         Parameters
         ----------
@@ -115,43 +111,10 @@ class ClusterEngine:
         ValueError
             If arrival times decrease along the stream.
         """
-        iterator = iter(jobs)
-        fed = 0
-        last_arrival = -1.0
-
-        def feed_next() -> None:
-            nonlocal fed, last_arrival
-            if max_jobs is not None and fed >= max_jobs:
-                return
-            job = next(iterator, None)
-            if job is None:
-                return
-            if job.arrival_time < last_arrival:
-                raise ValueError(
-                    f"job {job.job_id} arrives at {job.arrival_time}, before "
-                    f"the previous arrival at {last_arrival}; traces must be "
-                    "sorted by arrival time"
-                )
-            last_arrival = job.arrival_time
-            fed += 1
-            self.events.schedule(
-                job.arrival_time,
-                lambda t, job=job: on_arrival_event(job, t),
-                kind=f"arrival:{job.job_id}",
-            )
-
-        def on_arrival_event(job: Job, now: float) -> None:
-            self._handle_arrival(job, now)
-            feed_next()
-
-        feed_next()
-        self.events.run_until_empty(max_events=max_events)
-        final_time = max(self.events.now, self.metrics.final_time)
-        self.cluster.finalize(final_time)
-        self.broker.on_run_end(self.cluster, final_time)
-        self.cluster.sync(final_time)
-        self.metrics.close(final_time, self.cluster.total_energy())
-        return SimulationResult(self.metrics, self.cluster, final_time)
+        result = self._federation.run(
+            [jobs], max_jobs=max_jobs, max_events=max_events
+        )
+        return SimulationResult(self.metrics, self.cluster, result.final_time)
 
 
 def build_simulation(

@@ -1,0 +1,377 @@
+"""Federation: several sites (clusters) simulated on one event clock.
+
+The paper's hierarchy stops at one cluster — a global tier dispatches
+jobs to servers, a local tier manages per-server power. This module adds
+the tier above it: a :class:`Site` bundles one cluster with its own
+cluster-tier :class:`~repro.sim.interfaces.Broker`, its own
+:class:`~repro.sim.metrics.MetricsCollector`, and (optionally) its own
+:class:`~repro.sim.power.TariffModel`, so sites may differ in fleet,
+power models, and electricity prices; a :class:`FederationEngine` merges
+the sites' home job streams into one time-ordered feed and routes every
+arrival through a :class:`~repro.sim.interfaces.FederationBroker` before
+the chosen site's own broker places it on a server.
+
+The single-cluster :class:`~repro.sim.engine.ClusterEngine` is the
+degenerate case: one site, no federation broker. It delegates here, so a
+federation of one is *bit-identical* to the single-cluster simulator —
+same event order, same accounts — which is what makes the refactor safe
+(and is asserted by the equivalence test suite).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.sim.cluster import Cluster
+from repro.sim.events import EventQueue
+from repro.sim.interfaces import Broker, FederationBroker
+from repro.sim.job import Job
+from repro.sim.metrics import MetricsCollector, SeriesPoint
+from repro.sim.power import TariffModel
+
+
+@dataclass
+class Site:
+    """One member cluster of a federation.
+
+    Parameters
+    ----------
+    name:
+        Site label (e.g. a region); cosmetic, used in reports.
+    cluster:
+        The site's server cluster. All sites of one federation must be
+        built on the *same* :class:`~repro.sim.events.EventQueue`.
+    broker:
+        The site's cluster-tier dispatcher (the paper's global tier).
+    metrics:
+        Per-site collector; built automatically (carrying ``tariff``)
+        when omitted.
+    tariff:
+        The site's electricity price / carbon signal. Sites in different
+        markets or time zones carry different tariffs (see
+        :meth:`~repro.sim.power.TariffModel.shifted`).
+    """
+
+    name: str
+    cluster: Cluster
+    broker: Broker
+    metrics: MetricsCollector | None = None
+    tariff: TariffModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.metrics is None:
+            self.metrics = MetricsCollector(tariff=self.tariff)
+        elif self.tariff is None:
+            self.tariff = self.metrics.tariff
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.cluster)
+
+
+@dataclass
+class FederationResult:
+    """Outcome of a federated run: per-site metrics plus fleet totals."""
+
+    sites: list[Site]
+    final_time: float
+    fleet_series: list[SeriesPoint] = field(default_factory=list)
+
+    @property
+    def n_completed(self) -> int:
+        return sum(site.metrics.n_completed for site in self.sites)
+
+    @property
+    def total_energy_kwh(self) -> float:
+        return sum(site.metrics.total_energy_kwh() for site in self.sites)
+
+    @property
+    def accumulated_latency(self) -> float:
+        return sum(site.metrics.acc_latency for site in self.sites)
+
+    @property
+    def mean_latency(self) -> float:
+        n = self.n_completed
+        return self.accumulated_latency / n if n else 0.0
+
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(site.metrics.total_cost_usd() for site in self.sites)
+
+    @property
+    def total_co2_kg(self) -> float:
+        return sum(site.metrics.total_co2_kg() for site in self.sites)
+
+    @property
+    def average_power_watts(self) -> float:
+        """Fleet power averaged to the last sample point.
+
+        Same definition as
+        :meth:`~repro.sim.metrics.MetricsCollector.average_power_watts`
+        — total joules at the last recorded series point over that
+        point's time — evaluated on the merged fleet series, so a
+        federation of one reproduces the single-cluster value exactly.
+        """
+        if not self.fleet_series:
+            return 0.0
+        return self.fleet_series[-1].average_power_watts
+
+
+def merge_site_series(sites: Sequence[Site]) -> list[SeriesPoint]:
+    """Fleet-wide accumulated series from the per-site series.
+
+    Walks every site's sample points in time order (ties resolved by
+    site index) carrying each site's latest cumulative values, so each
+    output point is the exact fleet total at that sample instant. A
+    federation of one reproduces the site's own series unchanged.
+    """
+    if len(sites) == 1:
+        return list(sites[0].metrics.series)
+    tagged = sorted(
+        (
+            (point.time, i, point)
+            for i, site in enumerate(sites)
+            for point in site.metrics.series
+        ),
+        key=lambda rec: (rec[0], rec[1]),
+    )
+    latest: list[SeriesPoint | None] = [None] * len(sites)
+    merged: list[SeriesPoint] = []
+    for _, i, point in tagged:
+        latest[i] = point
+        live = [p for p in latest if p is not None]
+        merged.append(
+            SeriesPoint(
+                n_completed=sum(p.n_completed for p in live),
+                time=point.time,
+                acc_latency=sum(p.acc_latency for p in live),
+                energy_joules=sum(p.energy_joules for p in live),
+                cost_usd=sum(p.cost_usd for p in live),
+                co2_g=sum(p.co2_g for p in live),
+            )
+        )
+    return merged
+
+
+class FederationEngine:
+    """Simulates a fleet of sites against per-site job streams.
+
+    The generalization of the single-cluster engine: all sites share one
+    :class:`~repro.sim.events.EventQueue` (one continuous clock), their
+    home job streams are merged into a single time-ordered feed, and
+    each arrival is routed first by the federation ``broker`` (tier 0),
+    then by the chosen site's cluster broker (tier 1), while each
+    server's power policy (tier 2) keeps managing sleep states.
+
+    Parameters
+    ----------
+    sites:
+        The member sites. Every site's cluster must share the first
+        site's event queue.
+    broker:
+        The federation-tier dispatcher. ``None`` routes every job to its
+        home site without any broker call — the zero-overhead static
+        baseline, and exactly what the single-cluster engine delegates
+        with.
+    """
+
+    def __init__(
+        self,
+        sites: Sequence[Site],
+        broker: FederationBroker | None = None,
+    ) -> None:
+        if not sites:
+            raise ValueError("a federation needs at least one site")
+        self.sites = list(sites)
+        self.broker = broker
+        self.events = self.sites[0].cluster.events
+        for site in self.sites:
+            if site.cluster.events is not self.events:
+                raise ValueError(
+                    f"site {site.name!r} was built on a different EventQueue; "
+                    "all sites of a federation share one event clock"
+                )
+        for index, site in enumerate(self.sites):
+            for server in site.cluster.servers:
+                server.on_finish = self._finish_handler(index)
+
+    def _finish_handler(self, index: int):
+        site = self.sites[index]
+
+        def handle(job: Job, now: float) -> None:
+            site.cluster.sync(now)
+            site.metrics.on_completion(job, now, site.cluster.total_energy())
+            site.broker.on_job_finish(job, site.cluster, now)
+            if self.broker is not None:
+                self.broker.on_job_finish(job, self.sites, index, now)
+
+        return handle
+
+    def _handle_arrival(self, job: Job, home: int, now: float) -> None:
+        if self.broker is not None:
+            target = self.broker.select_site(job, self.sites, home, now)
+            if not 0 <= target < len(self.sites):
+                raise ValueError(
+                    f"federation broker chose site {target} outside "
+                    f"[0, {len(self.sites)})"
+                )
+        else:
+            target = home
+        site = self.sites[target]
+        site.metrics.on_arrival(job, now)
+        site.cluster.sync(now)
+        index = site.broker.select_server(job, site.cluster, now)
+        if not 0 <= index < len(site.cluster):
+            raise ValueError(
+                f"broker chose server {index} outside [0, {len(site.cluster)})"
+            )
+        site.cluster[index].assign(job, now)
+
+    def _merged_feed(
+        self, streams: Sequence[Iterable[Job]]
+    ) -> Iterator[tuple[float, int, Job]]:
+        """One time-ordered feed over the per-site home streams.
+
+        Each stream must be sorted by arrival time (validated exactly
+        like the single-cluster engine); ties across sites resolve to
+        the lower site index. ``heapq.merge`` keeps the merge lazy, so
+        streams may be generators of arbitrary length.
+        """
+
+        def tagged(index: int, stream: Iterable[Job]) -> Iterator:
+            last = -1.0
+            for job in stream:
+                if job.arrival_time < last:
+                    raise ValueError(
+                        f"job {job.job_id} arrives at {job.arrival_time}, "
+                        f"before the previous arrival at {last}; traces must "
+                        "be sorted by arrival time"
+                    )
+                last = job.arrival_time
+                yield (job.arrival_time, index, job)
+
+        return heapq.merge(
+            *(tagged(i, stream) for i, stream in enumerate(streams)),
+            key=lambda rec: (rec[0], rec[1]),
+        )
+
+    def run(
+        self,
+        streams: Sequence[Iterable[Job]],
+        max_jobs: int | None = None,
+        max_events: int | None = None,
+    ) -> FederationResult:
+        """Simulate all home streams to completion.
+
+        Parameters
+        ----------
+        streams:
+            One job iterable per site (``streams[i]`` is site ``i``'s
+            home stream); each must be sorted by arrival time.
+        max_jobs:
+            Stop feeding after this many arrivals fleet-wide (in-flight
+            work still drains).
+        max_events:
+            Safety valve on total processed events.
+
+        Raises
+        ------
+        ValueError
+            If the stream count differs from the site count, or any
+            stream's arrival times decrease.
+        """
+        if len(streams) != len(self.sites):
+            raise ValueError(
+                f"got {len(streams)} job streams for {len(self.sites)} sites"
+            )
+        feed = self._merged_feed(streams)
+        fed = 0
+
+        def feed_next() -> None:
+            nonlocal fed
+            if max_jobs is not None and fed >= max_jobs:
+                return
+            item = next(feed, None)
+            if item is None:
+                return
+            arrival, home, job = item
+            fed += 1
+            self.events.schedule(
+                arrival,
+                lambda t, job=job, home=home: on_arrival_event(job, home, t),
+                kind=f"arrival:{job.job_id}",
+            )
+
+        def on_arrival_event(job: Job, home: int, now: float) -> None:
+            self._handle_arrival(job, home, now)
+            feed_next()
+
+        feed_next()
+        self.events.run_until_empty(max_events=max_events)
+        final_time = self.events.now
+        for site in self.sites:
+            final_time = max(final_time, site.metrics.final_time)
+        for site in self.sites:
+            site.cluster.finalize(final_time)
+            site.broker.on_run_end(site.cluster, final_time)
+            site.cluster.sync(final_time)
+            site.metrics.close(final_time, site.cluster.total_energy())
+        if self.broker is not None:
+            self.broker.on_run_end(self.sites, final_time)
+        return FederationResult(
+            sites=self.sites,
+            final_time=final_time,
+            fleet_series=merge_site_series(self.sites),
+        )
+
+
+def build_federation(
+    site_args: Sequence[dict],
+    broker: FederationBroker | None = None,
+    events: EventQueue | None = None,
+) -> FederationEngine:
+    """Convenience constructor: one shared clock, one cluster per site.
+
+    ``site_args`` holds one dict per site with the keys of
+    :func:`~repro.sim.engine.build_simulation` minus ``broker`` (passed
+    as ``"broker"``) plus ``"name"`` and optional ``"tariff"`` /
+    ``"record_every"`` / ``"keep_jobs"``; every cluster is built on the
+    shared ``events`` queue.
+    """
+    from repro.sim.power import PowerModel
+
+    events = events if events is not None else EventQueue()
+    sites: list[Site] = []
+    for i, args in enumerate(site_args):
+        args = dict(args)
+        name = args.pop("name", f"site{i}")
+        tariff = args.pop("tariff", None)
+        metrics = MetricsCollector(
+            record_every=args.pop("record_every", 100),
+            keep_jobs=args.pop("keep_jobs", False),
+            tariff=tariff,
+        )
+        cluster = Cluster(
+            num_servers=args.pop("num_servers"),
+            power_model=args.pop("power_model", None) or PowerModel(),
+            events=events,
+            policies=args.pop("policies"),
+            num_resources=args.pop("num_resources", 3),
+            overload_threshold=args.pop("overload_threshold", 0.9),
+            initially_on=args.pop("initially_on", False),
+        )
+        site_broker = args.pop("broker")
+        if args:
+            raise ValueError(f"unknown site arguments {sorted(args)}")
+        sites.append(
+            Site(
+                name=name,
+                cluster=cluster,
+                broker=site_broker,
+                metrics=metrics,
+                tariff=tariff,
+            )
+        )
+    return FederationEngine(sites, broker)

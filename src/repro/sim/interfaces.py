@@ -1,19 +1,23 @@
-"""Control interfaces between the simulator and the two tiers.
+"""Control interfaces between the simulator and the three tiers.
 
-The simulator is policy-agnostic: a :class:`Broker` decides which server
-receives each arriving job (the paper's global tier / job broker), and a
+The simulator is policy-agnostic: a :class:`FederationBroker` decides
+which *site* of a federation serves each arriving job (the tier above
+the paper's hierarchy), a :class:`Broker` decides which server within a
+cluster receives it (the paper's global tier / job broker), and a
 :class:`PowerPolicy` decides the DPM timeout whenever a server goes idle
 (the paper's local tier). Concrete learning controllers live in
-``repro.core``; simple baselines in ``repro.core.baselines``.
+``repro.core``; simple baselines in ``repro.core.baselines`` and
+``repro.core.federation``.
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.sim.cluster import Cluster
+    from repro.sim.federation import Site
     from repro.sim.job import Job
     from repro.sim.server import Server
 
@@ -33,6 +37,40 @@ class Broker:
         """Called when any job completes (optional hook)."""
 
     def on_run_end(self, cluster: "Cluster", now: float) -> None:
+        """Called once when the simulation finishes (optional hook)."""
+
+
+class FederationBroker:
+    """Decides the target *site* for each arriving job (federation tier).
+
+    The broker-above-brokers of a multi-cluster
+    :class:`~repro.sim.federation.FederationEngine`: every arrival first
+    passes through :meth:`select_site`, and only then through the chosen
+    site's own cluster-tier :class:`Broker`. Implementations that
+    inspect cluster state should call ``site.cluster.sync(now)`` first —
+    syncing is exact and idempotent, so observing never perturbs the
+    energy/latency accounts.
+
+    ``select_site`` is the only required method; the lifecycle hooks are
+    optional and default to no-ops.
+    """
+
+    def select_site(
+        self, job: "Job", sites: Sequence["Site"], home: int, now: float
+    ) -> int:
+        """Return the index of the site that serves ``job``.
+
+        ``home`` is the index of the site whose workload stream emitted
+        the job (the static-routing baseline returns it unchanged).
+        """
+        raise NotImplementedError
+
+    def on_job_finish(
+        self, job: "Job", sites: Sequence["Site"], site_index: int, now: float
+    ) -> None:
+        """Called when any job completes anywhere in the fleet (optional)."""
+
+    def on_run_end(self, sites: Sequence["Site"], now: float) -> None:
         """Called once when the simulation finishes (optional hook)."""
 
 

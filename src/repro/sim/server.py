@@ -96,7 +96,9 @@ class Server:
         if num_resources < 1:
             raise ValueError("need at least one resource dimension")
         if not 0.0 < overload_threshold <= 1.0:
-            raise ValueError(f"overload_threshold must be in (0, 1], got {overload_threshold}")
+            raise ValueError(
+                f"overload_threshold must be in (0, 1], got {overload_threshold}"
+            )
         self.server_id = int(server_id)
         self.power_model = power_model
         self.events = events

@@ -18,12 +18,14 @@ Two formats are supported:
 from __future__ import annotations
 
 import csv
+import heapq
 import math
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.sim.churn import CapacityEvent
 from repro.sim.job import Job
 
 _HEADER = ["job_id", "arrival_time", "duration", "cpu", "mem", "disk"]
@@ -33,6 +35,12 @@ _G_TIME, _G_JOB_ID, _G_EVENT = 0, 2, 5
 _G_CPU, _G_MEM, _G_DISK = 9, 10, 11
 _G_SUBMIT, _G_FINISH = 0, 4
 _MICROSECONDS = 1e6
+
+#: Google machine-events column indices (per the schema doc): timestamp,
+#: machine ID, event type; ADD (0) brings a machine up, REMOVE (1) takes
+#: it down, UPDATE (2) changes its capacity (ignored here).
+_M_TIME, _M_MACHINE, _M_EVENT = 0, 1, 2
+_M_ADD, _M_REMOVE, _M_UPDATE = 0, 1, 2
 
 
 def write_trace_csv(jobs: Iterable[Job], path: str | Path) -> int:
@@ -133,6 +141,89 @@ def jobs_from_arrays(
     ]
 
 
+#: A parsed task-events row: (time_s, job_id, event, resources-or-None).
+_TaskRow = tuple[float, int, int, "tuple[float, float, float] | None"]
+
+
+def _parse_task_row(row: list[str]) -> _TaskRow | None:
+    """One task-events CSV row as a typed record, or None to skip it."""
+    if len(row) <= _G_DISK:
+        return None
+    try:
+        event = int(row[_G_EVENT])
+        time_s = float(row[_G_TIME]) / _MICROSECONDS
+        job_id = int(row[_G_JOB_ID])
+    except (ValueError, IndexError):
+        return None
+    if event == _G_SUBMIT:
+        try:
+            res = (
+                float(row[_G_CPU]),
+                float(row[_G_MEM]),
+                float(row[_G_DISK]),
+            )
+        except ValueError:
+            return None
+        return (time_s, job_id, event, res)
+    if event == _G_FINISH:
+        return (time_s, job_id, event, None)
+    return None
+
+
+def _task_file_is_sorted(path: Path) -> bool:
+    """Whether a file's rows are already in timestamp order.
+
+    A cheap streaming pre-pass (nothing buffered, only the timestamp
+    column converted): the real trace's part files are time-sorted, so
+    this is the common case and unlocks O(1) per-file memory in
+    :func:`_iter_task_rows`. Rows without a parseable timestamp are
+    ignored (the full parse skips them too); noise rows *with*
+    timestamps may flag a file unsorted even though its usable rows are
+    ordered — that only costs the buffered fallback, never correctness.
+    """
+    last = -math.inf
+    with path.open() as fh:
+        # Raw line scan, no CSV machinery: the timestamp is the first
+        # column and is never quoted, so splitting at the first comma
+        # is exact and several times cheaper than csv.reader.
+        for line in fh:
+            try:
+                time_s = float(line.split(",", 1)[0])
+            except ValueError:
+                continue
+            if time_s < last:
+                return False
+            last = time_s
+    return True
+
+
+def _iter_task_rows(path: str | Path) -> Iterator[_TaskRow]:
+    """Yield one file's usable rows in timestamp order.
+
+    Time-sorted files (the real trace's part files) stream row by row —
+    two sequential passes, O(1) memory. A file with out-of-order rows is
+    buffered and stably sorted, preserving the pre-streaming tolerance:
+    simultaneous rows keep file order, so a same-instant FINISH/SUBMIT
+    reuse cycle resolves the way the trace wrote it.
+    """
+    path = Path(path)
+    if _task_file_is_sorted(path):
+        with path.open(newline="") as fh:
+            for row in csv.reader(fh):
+                rec = _parse_task_row(row)
+                if rec is not None:
+                    yield rec
+        return
+    rows = []
+    with path.open(newline="") as fh:
+        for row in csv.reader(fh):
+            rec = _parse_task_row(row)
+            if rec is not None:
+                rows.append(rec)
+    rows.sort(key=lambda rec: rec[0])  # stable: ties keep file order
+    yield from rows
+
+
 def read_google_task_events(
     paths: Sequence[str | Path],
     min_duration: float = 60.0,
@@ -151,45 +242,24 @@ def read_google_task_events(
     returns them sorted by arrival time with arrival times re-based to
     zero. Rows with missing resource requests are skipped.
 
-    Memory: all SUBMIT/FINISH rows are buffered and globally sorted —
-    out-of-order tolerance requires a total time order — so peak memory
-    is proportional to the event count of the files passed in (the same
-    order as the job-keyed dicts this replaces). Feed part files in
-    segment-sized batches rather than the whole 40 GB trace at once; a
-    streaming merge for pre-sorted part files is a ROADMAP item.
+    Memory: files are consumed through a streaming
+    :func:`heapq.merge` over per-file iterators. Time-sorted part files
+    (the real trace's are) stream with O(1) row memory per file — peak
+    memory is then proportional to the *job* count, not the event count
+    — while a file with out-of-order rows is buffered and sorted on its
+    own (see :func:`_iter_task_rows`), bounding the buffer at one file
+    instead of the whole file set. The merged order is identical to the
+    previous buffer-everything-and-stable-sort implementation: per-file
+    order is preserved and ``heapq.merge`` resolves equal timestamps in
+    argument (file) order.
     """
     Res = tuple[float, float, float]
-    rows: list[tuple[float, int, int, Res | None]] = []
-    for path in paths:
-        with Path(path).open(newline="") as fh:
-            for row in csv.reader(fh):
-                if len(row) <= _G_DISK:
-                    continue
-                try:
-                    event = int(row[_G_EVENT])
-                    time_s = float(row[_G_TIME]) / _MICROSECONDS
-                    job_id = int(row[_G_JOB_ID])
-                except (ValueError, IndexError):
-                    continue
-                if event == _G_SUBMIT:
-                    try:
-                        res = (
-                            float(row[_G_CPU]),
-                            float(row[_G_MEM]),
-                            float(row[_G_DISK]),
-                        )
-                    except ValueError:
-                        continue
-                    rows.append((time_s, job_id, event, res))
-                elif event == _G_FINISH:
-                    rows.append((time_s, job_id, event, None))
-
-    # Stable sort: simultaneous rows keep file order, so a same-instant
-    # FINISH/SUBMIT reuse cycle resolves the way the trace wrote it.
-    rows.sort(key=lambda rec: rec[0])
+    merged = heapq.merge(
+        *(_iter_task_rows(path) for path in paths), key=lambda rec: rec[0]
+    )
     pending: dict[int, tuple[float, Res]] = {}
     records = []
-    for time_s, job_id, event, res in rows:
+    for time_s, job_id, event, res in merged:
         if event == _G_SUBMIT:
             # Duplicate SUBMITs inside one incarnation keep the first.
             if job_id not in pending:
@@ -214,3 +284,103 @@ def read_google_task_events(
         Job(job_id=i, arrival_time=t - t0, duration=d, resources=res)
         for i, (t, d, res) in enumerate(records)
     ]
+
+
+def read_google_machine_events(
+    paths: Sequence[str | Path],
+    num_servers: int,
+    min_duration: float = 1.0,
+    open_duration: float | None = None,
+) -> tuple[CapacityEvent, ...]:
+    """Parse Google *machine events* tables into a capacity-churn schedule.
+
+    The machine-events table records the physical fleet's lifecycle:
+    ADD (0) brings a machine up, REMOVE (1) takes it down (failure or
+    maintenance), UPDATE (2) changes its capacity in place. This pairs
+    each REMOVE with the machine's next ADD and emits one full drain
+    (:class:`~repro.sim.churn.CapacityEvent` with ``fraction=0``) per
+    down window, so replay scenarios churn capacity exactly when the
+    recorded cluster did.
+
+    Machines map onto the simulated fleet round-robin in first-seen
+    order (the recording typically has far more machines than the
+    simulated cluster; overlapping drains on one slot compose per
+    :func:`~repro.sim.churn.schedule_capacity_events`' last-restore-wins
+    rule). Times are seconds, re-based so the first event is t = 0 —
+    matching how task-events arrivals re-base.
+
+    Parameters
+    ----------
+    paths:
+        Machine-events CSV files (headerless, timestamp µs / machine ID
+        / event type in the first three columns). Malformed rows and
+        UPDATE events are skipped.
+    num_servers:
+        Size of the simulated fleet the machine IDs map onto.
+    min_duration:
+        Drop down windows shorter than this many seconds (sub-second
+        remove/re-add flaps churn the DPM state for nothing).
+    open_duration:
+        Close REMOVEs that never see a matching ADD at this absolute
+        re-based time (e.g. the replay horizon — the trace window ended
+        with the machine still down); ``None`` drops them. Open drains
+        starting at or after this time are dropped either way.
+
+    Raises
+    ------
+    ValueError
+        If ``num_servers`` is not positive.
+    """
+    if num_servers < 1:
+        raise ValueError(f"num_servers must be positive, got {num_servers}")
+    rows: list[tuple[float, int, int]] = []
+    for path in paths:
+        with Path(path).open(newline="") as fh:
+            for row in csv.reader(fh):
+                if len(row) <= _M_EVENT:
+                    continue
+                try:
+                    time_s = float(row[_M_TIME]) / _MICROSECONDS
+                    machine = int(row[_M_MACHINE])
+                    event = int(row[_M_EVENT])
+                except (ValueError, IndexError):
+                    continue
+                if event in (_M_ADD, _M_REMOVE):
+                    rows.append((time_s, machine, event))
+    if not rows:
+        return ()
+    rows.sort(key=lambda rec: rec[0])  # stable: ties keep file order
+    t0 = rows[0][0]
+
+    slots: dict[int, int] = {}  # machine ID -> simulated server index
+    down_since: dict[int, float] = {}  # machine ID -> drain start (re-based)
+    events: list[CapacityEvent] = []
+
+    def emit(machine: int, start: float, end: float) -> None:
+        duration = end - start
+        if duration < min_duration:
+            return
+        events.append(
+            CapacityEvent(
+                time=start,
+                server_id=slots[machine],
+                duration=duration,
+                fraction=0.0,
+            )
+        )
+
+    for time_s, machine, event in rows:
+        t = time_s - t0
+        if machine not in slots:
+            slots[machine] = len(slots) % num_servers
+        if event == _M_REMOVE:
+            down_since.setdefault(machine, t)
+        else:  # ADD closes an open drain; an initial ADD just registers
+            start = down_since.pop(machine, None)
+            if start is not None:
+                emit(machine, start, t)
+    if open_duration is not None:
+        for machine, start in down_since.items():
+            emit(machine, start, open_duration)
+    events.sort(key=lambda e: (e.time, e.server_id))
+    return tuple(events)

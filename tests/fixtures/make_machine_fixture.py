@@ -1,0 +1,83 @@
+"""Regenerate ``google_machine_events_small.csv`` (committed fixture).
+
+A synthetic stand-in for the Google cluster-usage *machine events* table
+(Reiss, Wilkes & Hellerstein, 2011): headerless rows whose relevant
+columns are timestamp (µs), machine ID (col 1) and event type (col 2,
+ADD=0 / REMOVE=1 / UPDATE=2). Deliberately messy the way the real table
+is:
+
+* the fleet is dumped as ADD rows at t = 0;
+* several machines go through one or two REMOVE/ADD maintenance cycles;
+* one machine is REMOVEd and never comes back (open drain at EOF);
+* one REMOVE/ADD flap shorter than a second (readers should drop it);
+* UPDATE events, a malformed row, and an out-of-order region.
+
+Run ``python tests/fixtures/make_machine_fixture.py`` from the repo root
+to rewrite the CSV (deterministic: fixed seed).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+OUT = Path(__file__).parent / "google_machine_events_small.csv"
+
+#: Machines in the fixture fleet (keep in sync with tests).
+N_MACHINES = 12
+#: Closed REMOVE->ADD drains the reader should extract (>= 1 s each).
+N_CLOSED_DRAINS = 6
+#: Open drains at EOF (closed only when the caller passes open_duration).
+N_OPEN_DRAINS = 1
+
+
+def _row(time_us: int, machine_id: int, event: int) -> str:
+    return f"{time_us},{machine_id},{event},platform-a,0.5,0.5"
+
+
+def main() -> None:
+    rng = np.random.default_rng(20260727)
+    span = 4 * 3600.0
+    machines = [7_000_000 + i for i in range(N_MACHINES)]
+    rows: list[tuple[int, str]] = [(0, _row(0, m, 0)) for m in machines]
+
+    # Six closed maintenance drains (one machine gets two cycles).
+    cycles = [machines[1], machines[3], machines[5], machines[8], machines[8], machines[10]]
+    t = 600.0
+    for machine in cycles:
+        down = float(rng.uniform(300.0, 1800.0))
+        t0 = int(t * 1e6)
+        t1 = int((t + down) * 1e6)
+        rows.append((t0, _row(t0, machine, 1)))
+        rows.append((t1, _row(t1, machine, 0)))
+        t += down + float(rng.uniform(600.0, 1200.0))
+
+    # A sub-second flap the reader must drop.
+    tf = int(0.75 * span * 1e6)
+    rows.append((tf, _row(tf, machines[2], 1)))
+    rows.append((tf + 400_000, _row(tf + 400_000, machines[2], 0)))
+
+    # An open drain: removed near the end, never re-added.
+    to = int(0.9 * span * 1e6)
+    rows.append((to, _row(to, machines[4], 1)))
+
+    # Noise: UPDATE events and a malformed row.
+    for _ in range(4):
+        tu = int(rng.uniform(0.0, span) * 1e6)
+        rows.append((tu, _row(tu, int(rng.choice(machines)), 2)))
+    rows.append((int(span * 1e6 // 2), "not,a"))
+
+    # Mostly time-sorted, with a shuffled slice (out-of-order region).
+    rows.sort(key=lambda r: r[0])
+    mid = len(rows) // 2
+    chunk = rows[mid : mid + 6]
+    rng.shuffle(chunk)
+    rows[mid : mid + 6] = chunk
+
+    OUT.write_text("\n".join(text for _, text in rows) + "\n")
+    print(f"wrote {len(rows)} rows to {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Federation-of-one equivalence: the refactor's safety net.
+
+A federated cell with a single site must be the *identical experiment*
+to the single-cluster cell — bit-identical metrics, not approximately
+equal — across builtin scenarios (synthetic, tariffed, and trace-replay
+workloads) and across systems including the DRL global tier. This is
+what licenses routing everything through the federation engine.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.scenarios import registry
+from repro.scenarios.orchestrator import run_cell
+from repro.scenarios.specs import SiteSpec
+
+#: Metrics that must match exactly (totals, intensive stats, and every
+#: sampled series point).
+EXACT_KEYS = (
+    "n_jobs_offered",
+    "n_jobs_completed",
+    "num_servers",
+    "energy_kwh",
+    "acc_latency_s",
+    "mean_latency_s",
+    "average_power_w",
+    "energy_per_job_wh",
+    "final_time_s",
+    "cost_usd",
+    "co2_kg",
+    "latency_series",
+    "energy_series",
+    "cost_series",
+    "co2_series",
+)
+
+#: >= 3 builtin scenarios covering synthetic (paper-default), tariffed
+#: synthetic (tou-price-shift), and trace replay (google-replay).
+SCENARIOS = ("paper-default", "tou-price-shift", "google-replay")
+
+#: A static baseline, a sleeping baseline, and the DRL global tier
+#: (untrained here — online learning still runs through the evaluation,
+#: exercising the seeded RNG path end to end).
+SYSTEMS = ("round-robin", "packing", "drl-only")
+
+
+def federation_of_one(spec):
+    """The spec as a single-site federation (same fleet, same tariff)."""
+    return replace(
+        spec,
+        name=f"{spec.name}-as-federation",
+        sites=(SiteSpec("solo", fleet=spec.fleet, tariff=spec.tariff),),
+    )
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_single_site_federation_is_bit_identical(scenario, system):
+    spec = registry.get(scenario)
+    kwargs = dict(n_jobs=120, seed=3, pretrain=False, online_epochs=0)
+    single = run_cell(spec, system, **kwargs)
+    federated = run_cell(federation_of_one(spec), system, **kwargs)
+    for key in EXACT_KEYS:
+        assert single[key] == federated[key], key
+    # The federated result additionally breaks the same numbers out
+    # per site — for one site, the breakdown IS the fleet.
+    (site,) = federated["sites"]
+    assert site["energy_kwh"] == single["energy_kwh"]
+    assert site["cost_usd"] == single["cost_usd"]
+    assert site["co2_kg"] == single["co2_kg"]
+    assert site["latency_series"] == single["latency_series"]
+
+
+def test_single_site_federation_traces_match_single_cluster():
+    # The trace builder itself must hand a one-site federation the exact
+    # single-cluster streams (same jobs, same training segments).
+    spec = registry.get("paper-default")
+    fed = federation_of_one(spec)
+    eval_jobs, segments = spec.build_traces(200, seed=7)
+    eval_streams, train_streams = fed.build_site_traces(200, seed=7)
+    assert eval_streams == [eval_jobs]
+    assert train_streams == [[segment] for segment in segments]
+
+
+def test_warm_started_single_site_federation_stays_identical(tmp_path):
+    # Warm starting goes through a different construction path
+    # (checkpoint restore) on both sides; equivalence must survive it.
+    from repro.scenarios.checkpoints import CheckpointStore, ensure_checkpoint
+
+    spec = registry.get("paper-default")
+    fed = federation_of_one(spec)
+    kwargs = dict(n_jobs=100, seed=1, online_epochs=1)
+    single_ckpt = ensure_checkpoint(
+        CheckpointStore(tmp_path / "single"), spec, n_jobs=100, seed=1,
+        online_epochs=1, with_predictor=False,
+    )
+    fed_ckpt = ensure_checkpoint(
+        CheckpointStore(tmp_path / "fed"), fed, n_jobs=100, seed=1,
+        online_epochs=1, with_predictor=False,
+    )
+    single = run_cell(spec, "drl-only", checkpoint=single_ckpt, **kwargs)
+    federated = run_cell(fed, "drl-only", checkpoint=fed_ckpt, **kwargs)
+    for key in EXACT_KEYS:
+        assert single[key] == federated[key], key
