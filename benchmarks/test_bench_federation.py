@@ -18,6 +18,13 @@ overhead over the single cluster — pure engine tax, no broker — at
 ``REPRO_BENCH_FED_MAX_OVERHEAD`` (default 1.6x; policy brokers are
 reported but ungated, their work scales with what they inspect).
 
+A second, telemetry-instrumented pass decomposes each policy's per-job
+cost into the engine's phases (broker decision vs state-view
+aggregation vs settle/dispatch accounting, per-phase *self* µs/job via
+:mod:`repro.obs`) under ``federation.phase_us`` — including the DRL
+dispatcher, whose ``fed.state_view`` and ``qnet.train_step`` phases are
+invisible to the end-to-end numbers above.
+
 Scale knob: ``REPRO_BENCH_FED_JOBS`` (trace length, default 1500).
 """
 
@@ -33,6 +40,7 @@ import pytest
 from benchmarks.conftest import save_artifact
 from repro.core.baselines import AlwaysOnPolicy, RoundRobinBroker
 from repro.core.federation import make_federation_broker
+from repro.obs import telemetry as obs
 from repro.sim.engine import build_simulation
 from repro.sim.federation import build_federation
 from repro.sim.power import TariffModel
@@ -109,6 +117,19 @@ def build_fed(per_site, policy):
     return engine, [[job.copy() for job in stream] for stream in per_site]
 
 
+def phase_breakdown(per_site, policy: str) -> dict[str, float]:
+    """Per-phase *self* microseconds per job for one profiled run."""
+    engine, streams = build_fed(per_site, policy)
+    n_jobs = sum(len(stream) for stream in streams)
+    with obs.capture() as tel:
+        engine.run(streams)
+    snapshot = tel.snapshot()
+    return {
+        name: round(stat["self_s"] / n_jobs * 1e6, 3)
+        for name, stat in snapshot["spans"].items()
+    }
+
+
 def test_bench_federation_dispatch(traces, out_dir):
     single_trace, per_site = traces
     n_fed_jobs = sum(len(stream) for stream in per_site)
@@ -148,6 +169,15 @@ def test_bench_federation_dispatch(traces, out_dir):
         "single_cluster_us_per_job": round(single_us, 2),
         "federated_us_per_job": {p: round(v, 2) for p, v in fed_us.items()},
         "home_overhead_x": round(overhead, 3),
+        # Instrumented pass: where each policy's per-job time goes.
+        # Spans are self-time, so the phases of one policy sum to (at
+        # most) its profiled wall time — decision cost is fed.route
+        # (plus fed.state_view and qnet.train_step for drl), accounting
+        # is site.settle, placement is site.dispatch.
+        "phase_us": {
+            policy: phase_breakdown(per_site, policy)
+            for policy in ("home", "least-loaded", "price-greedy", "drl")
+        },
     }
     out_path = REPO_ROOT / "BENCH_hotpath.json"
     try:

@@ -12,11 +12,16 @@ Usage::
     python -m repro scenario run   --name NAME [--system SYS] [--jobs N]
                                    [--shards S] [--workers W] [--warm]
                                    [--trace CSV...] [--sites N]
-                                   [--federation POLICY]
+                                   [--federation POLICY] [--profile]
     python -m repro scenario sweep [--scenarios a,b] [--systems x,y]
                                    [--seeds 0,1] [--jobs N] [--workers W]
                                    [--resume] [--no-warm-start]
-                                   [--series-out FILE]
+                                   [--series-out FILE] [--profile]
+    python -m repro obs report FILE [--top N]
+
+Global flags (before the subcommand): ``--log-level LEVEL`` or ``-v`` /
+``-vv`` route the package's stdlib logging to stderr at the chosen
+level (WARNING by default).
 
 ``table1`` prints the paper-style summary table plus the recomputed
 headline claims; the figure commands print (or write) the CSV series the
@@ -30,7 +35,10 @@ and warm-starts its cells from the checkpoint blob, and can emit the
 Fig-8-style per-system series (including cost/CO₂ when the scenario has
 a tariff) with ``--series-out``. ``scenario run --trace`` replays
 recorded Google task-events files through any scenario; unsharded runs
-journal their result exactly like a sweep cell would.
+journal their result exactly like a sweep cell would. ``--profile``
+captures run telemetry (per-phase self-time breakdown, counters, rates),
+writes it as ``telemetry.json`` under the cache dir, and ``obs report``
+renders any such artifact.
 """
 
 from __future__ import annotations
@@ -203,6 +211,10 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
+        if args.profile and args.shards > 1:
+            print("error: --profile needs the unsharded path (one telemetry "
+                  "capture per run); drop --shards", file=sys.stderr)
+            return 2
         if spec.sites and args.shards > 1:
             print("error: --shards does not compose with federated "
                   "scenarios yet", file=sys.stderr)
@@ -270,7 +282,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         else:
             cell = run_cell(
                 spec, args.system, n_jobs=args.jobs, seed=args.seed,
-                checkpoint=checkpoint,
+                checkpoint=checkpoint, profile=args.profile,
             )
             extra = ""
             # Journal the cell exactly as a sweep would, so later sweeps
@@ -288,6 +300,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 online_epochs=online_epochs,
                 local_epochs=local_epochs,
                 warm_start=checkpoint is not None,
+                profile=args.profile,
             )
             print(f"# journaled {path}", file=sys.stderr)
         lines = [
@@ -317,6 +330,14 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                     f"CO2 {site['co2_kg']:.2f} kg"
                 )
         _emit("\n".join(lines), args.out)
+        if args.profile and cell.get("telemetry"):
+            from repro.obs import render_report, write_snapshot
+
+            tel_path = write_snapshot(
+                cell["telemetry"], args.cache_dir / "telemetry.json"
+            )
+            print(f"# telemetry -> {tel_path}", file=sys.stderr)
+            print(render_report(cell["telemetry"], top=args.top))
         return 0
 
     # action == "sweep"
@@ -343,6 +364,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         force=args.force,
         warm_start=not args.no_warm_start,
         progress=_progress_printer,
+        profile=args.profile,
     )
     if args.resume and report.n_cached == 0:
         print("warning: --resume matched no journaled cells — the grid or "
@@ -366,7 +388,27 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         print(f"# {cpus} CPUs detected for this process; pool size {pool}")
     else:
         print(f"# {cpus} CPUs detected for this process; all cells cached, no pool")
+    if args.profile:
+        # Stdout-only like the pool line: timings vary run to run, so
+        # they stay out of --out artifacts.
+        rendered = report.render_telemetry()
+        if rendered is not None:
+            print(rendered)
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import load_snapshot, render_report
+
+    if args.action == "report":
+        try:
+            snapshot = load_snapshot(args.file)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _emit(render_report(snapshot, top=args.top), args.out)
+        return 0
+    raise AssertionError(f"unhandled obs action {args.action!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -378,6 +420,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="stdlib logging level for the repro package "
+             "(DEBUG, INFO, WARNING, ERROR, CRITICAL)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v INFO, -vv DEBUG); "
+             "--log-level wins when both are given",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -433,6 +485,13 @@ def build_parser() -> argparse.ArgumentParser:
     sc_run.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"),
                         help="cache root holding checkpoint blobs "
                              "(default .repro-cache)")
+    sc_run.add_argument("--profile", action="store_true",
+                        help="capture run telemetry: print the per-phase "
+                             "self-time breakdown and write telemetry.json "
+                             "under the cache dir")
+    sc_run.add_argument("--top", type=int, default=None, metavar="N",
+                        help="limit the --profile span table to the top N "
+                             "phases by self time")
     _add_common(sc_run, default_jobs=600)
 
     sc_sweep = sc_sub.add_parser(
@@ -466,12 +525,33 @@ def build_parser() -> argparse.ArgumentParser:
     sc_sweep.add_argument("--series-out", type=Path, default=None,
                           help="also write Fig-8-style accumulated "
                                "latency/energy series (long-form CSV)")
+    sc_sweep.add_argument("--profile", action="store_true",
+                          help="capture telemetry per computed cell, roll it "
+                               "up, and write telemetry.json to the cache dir")
     sc_sweep.add_argument("--out", type=Path, default=None)
+
+    p_obs = sub.add_parser("obs", help="telemetry artifacts (profiled runs)")
+    obs_sub = p_obs.add_subparsers(dest="action", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="render a telemetry.json as a self-time breakdown"
+    )
+    obs_report.add_argument("file", type=Path, metavar="FILE",
+                            help="telemetry snapshot (telemetry.json)")
+    obs_report.add_argument("--top", type=int, default=None, metavar="N",
+                            help="show only the top N spans by self time")
+    obs_report.add_argument("--out", type=Path, default=None)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.obs import configure_logging
+
+    try:
+        configure_logging(args.log_level, args.verbose)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.command == "table1":
         return _cmd_table1(args)
     if args.command in ("fig8", "fig9"):
@@ -484,6 +564,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_systems(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

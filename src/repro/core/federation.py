@@ -28,6 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import GlobalTierConfig
+from repro.obs import telemetry as obs
 from repro.core.global_tier import DRLGlobalBroker
 from repro.core.qnetwork import HierarchicalQNetwork
 from repro.core.state import StateEncoder
@@ -158,6 +159,13 @@ class FederationStateView:
 
     def state_views(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Per-site ``(utilization, on-fraction, queue)`` aggregate rows."""
+        tel = obs.active()
+        if tel is None:
+            return self._compute_views()
+        with tel.span("fed.state_view"):
+            return self._compute_views()
+
+    def _compute_views(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         for i, site in enumerate(self.sites):
             ledger = site.cluster.ledger
             self._util[i] = ledger.util[:, : self.num_resources].mean(axis=0)
@@ -222,6 +230,8 @@ class DRLFederationBroker(FederationBroker):
     qnetwork:
         Optionally a pre-built / warm-started network (checkpoints).
     """
+
+    obs_spans = True  # opens fed.state_view + qnet.train_step spans
 
     def __init__(
         self,

@@ -27,6 +27,7 @@ from repro.nn.autoencoder import Autoencoder
 from repro.nn.layers import Module
 from repro.nn.mlp import MLP
 from repro.nn.optim import Adam, clip_grad_norm
+from repro.obs import telemetry as obs
 
 
 class FlatQNetwork(Module):
@@ -334,6 +335,25 @@ class HierarchicalQNetwork(Module):
         (the code-gradient scatter back to the per-group accumulators is
         an exact element-wise operation either way).
         """
+        tel = obs.active()
+        if tel is None:
+            return self._train_step_batched(
+                states, actions, targets, optimizer, max_grad_norm, huber_delta
+            )
+        with tel.span("qnet.train_step"):
+            return self._train_step_batched(
+                states, actions, targets, optimizer, max_grad_norm, huber_delta
+            )
+
+    def _train_step_batched(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        targets: np.ndarray,
+        optimizer: Adam,
+        max_grad_norm: float | None,
+        huber_delta: float | None,
+    ) -> float:
         states, actions, targets = self._check_batch(states, actions, targets)
         n = states.shape[0]
         groups, jobs = self.encoder.split(states)

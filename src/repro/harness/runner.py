@@ -54,6 +54,7 @@ from repro.core.hierarchical import (
     pretrain_predictor,
 )
 from repro.core.predictor import WorkloadPredictor
+from repro.obs import telemetry as obs
 from repro.sim.churn import CapacityEvent
 from repro.sim.job import Job
 from repro.sim.power import TariffModel
@@ -106,6 +107,8 @@ class RunResult:
     co2_kg: float = 0.0
     cost_series: tuple[tuple[int, float], ...] = ()
     co2_series: tuple[tuple[int, float], ...] = ()
+    #: Telemetry snapshot of the run (profiled runs only, else None).
+    telemetry: dict | None = None
 
     @property
     def acc_latency_1e6(self) -> float:
@@ -142,7 +145,9 @@ def run_system(
         tariff=tariff,
     )
     metrics = result.metrics
+    tel = obs.active()
     return RunResult(
+        telemetry=tel.snapshot() if tel is not None else None,
         name=system.name,
         num_servers=system.config.num_servers,
         n_jobs=metrics.n_completed,

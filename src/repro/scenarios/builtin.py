@@ -87,8 +87,12 @@ FLASH_CROWD = register(
                 ),
             ),
             flash_crowds=(
-                FlashCrowdSpec(start_fraction=0.2, duration_fraction=0.05, rate_multiplier=6.0),
-                FlashCrowdSpec(start_fraction=0.6, duration_fraction=0.08, rate_multiplier=4.0),
+                FlashCrowdSpec(
+                    start_fraction=0.2, duration_fraction=0.05, rate_multiplier=6.0
+                ),
+                FlashCrowdSpec(
+                    start_fraction=0.6, duration_fraction=0.08, rate_multiplier=4.0
+                ),
             ),
         ),
     )

@@ -28,6 +28,7 @@ then every evaluation cell warm-starts from the group's blob.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -45,8 +46,11 @@ from repro.harness.runner import (
     train_global_prototype,
 )
 from repro.nn.serialize import load_states, save_states
+from repro.obs import telemetry as obs
 from repro.scenarios.specs import ScenarioSpec
 from repro.scenarios.store import ContentAddressedStore, content_key
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the blob layout or warm-start semantics change; a blob
 #: carrying any other version is ignored (treated as a miss) on read.
@@ -569,16 +573,26 @@ def load_checkpoint(
 ):
     """Fetch the checkpoint flavor ``spec`` needs, or None on miss."""
     if spec.is_federated:
-        return store.get_federation(
+        checkpoint = store.get_federation(
             key,
             need_predictor=need_predictor,
             need_fed_policy=spec.federation == "drl",
         )
-    return store.get(key, need_predictor=need_predictor)
+    else:
+        checkpoint = store.get(key, need_predictor=need_predictor)
+    if checkpoint is None:
+        obs.get().counter("checkpoint.miss")
+        logger.debug("checkpoint miss for key %s", key)
+    else:
+        obs.get().counter("checkpoint.hit")
+        logger.debug("checkpoint hit for key %s", key)
+    return checkpoint
 
 
 def store_checkpoint(store: CheckpointStore, key: str, checkpoint) -> Path:
     """Persist either checkpoint flavor under ``key``."""
+    obs.get().counter("checkpoint.store")
+    logger.debug("storing checkpoint under key %s", key)
     if isinstance(checkpoint, FederationPolicyCheckpoint):
         return store.put_federation(key, checkpoint)
     return store.put(key, checkpoint)

@@ -25,6 +25,7 @@ The counterpart of :func:`repro.harness.runner.make_scenario_system` /
 
 from __future__ import annotations
 
+import logging
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -47,6 +48,8 @@ from repro.sim.metrics import MetricsCollector, SeriesPoint
 
 if TYPE_CHECKING:  # pragma: no cover - type-only, avoids an import cycle
     from repro.scenarios.checkpoints import FederationPolicyCheckpoint
+
+logger = logging.getLogger(__name__)
 
 
 def derive_site_seeds(system_seed: int, n_sites: int) -> tuple[list[int], int]:
@@ -283,6 +286,14 @@ def run_federated_cell(
         # Only single-site federations can carry churn today (validated
         # by the spec), and it targets the lone site's cluster.
         schedule_capacity_events(engine.sites[0].cluster, events)
+    logger.debug(
+        "federated cell %s x %s seed %d: %d sites, %s dispatch",
+        spec.name,
+        system,
+        seed,
+        len(engine.sites),
+        spec.federation,
+    )
     result = engine.run([[job.copy() for job in stream] for stream in eval_streams])
     n_completed = result.n_completed
     energy_kwh = result.total_energy_kwh

@@ -28,6 +28,7 @@ shared across a cluster's DRL systems), now cacheable across sweeps.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -36,10 +37,14 @@ from typing import Callable, Iterable, Sequence
 
 from repro.harness.report import format_csv, format_table
 from repro.harness.runner import make_scenario_system, run_system
+from repro.obs import render_report, write_snapshot
+from repro.obs import telemetry as obs
 from repro.scenarios import checkpoints as ckpt
 from repro.scenarios import registry
 from repro.scenarios.specs import ScenarioSpec
 from repro.scenarios.store import SCHEMA_VERSION, ResultStore, content_key
+
+logger = logging.getLogger(__name__)
 
 #: Default systems a sweep compares (Table I's comparison set).
 DEFAULT_SWEEP_SYSTEMS = ("round-robin", "drl-only", "hierarchical")
@@ -63,8 +68,9 @@ def _protocol_dict(
     pretrain: bool,
     online_epochs: int,
     local_epochs: int,
+    profile: bool = False,
 ) -> dict:
-    return {
+    protocol = {
         "schema": SCHEMA_VERSION,
         "n_jobs": n_jobs,
         "record_every": record_every,
@@ -72,6 +78,12 @@ def _protocol_dict(
         "online_epochs": online_epochs,
         "local_epochs": local_epochs,
     }
+    # Present only when profiling (mirrors ``warm_start``): profiled
+    # results carry a telemetry payload, so they get their own cache
+    # slots while every unprofiled key stays exactly as before.
+    if profile:
+        protocol["profile"] = True
+    return protocol
 
 
 def cell_request(cell: SweepCell, protocol: dict, warm_start: bool = False) -> dict:
@@ -106,6 +118,7 @@ def run_cell(
     online_epochs: int = 1,
     local_epochs: int = 1,
     checkpoint: "ckpt.PolicyCheckpoint | ckpt.FederationPolicyCheckpoint | None" = None,
+    profile: bool = False,
 ) -> dict:
     """Run one (scenario, system, seed) cell and return JSON-able metrics.
 
@@ -122,7 +135,28 @@ def run_cell(
     Federated scenarios (a non-empty ``sites`` tuple) dispatch to
     :func:`repro.scenarios.federation.run_federated_cell` — same
     protocol knobs, same result keys, plus per-site breakdowns.
+
+    With ``profile=True`` the whole cell (training, trace parsing, and
+    the evaluation run) executes under a captured
+    :class:`~repro.obs.telemetry.Telemetry`, and the result carries its
+    snapshot under ``"telemetry"``. Telemetry never touches simulation
+    state, so all other result fields are bit-identical either way.
     """
+    if profile:
+        with obs.capture() as tel:
+            result = run_cell(
+                scenario,
+                system,
+                n_jobs=n_jobs,
+                seed=seed,
+                record_every=record_every,
+                pretrain=pretrain,
+                online_epochs=online_epochs,
+                local_epochs=local_epochs,
+                checkpoint=checkpoint,
+            )
+        result["telemetry"] = tel.snapshot()
+        return result
     spec = registry.get(scenario) if isinstance(scenario, str) else scenario
     if spec.is_federated:
         from repro.scenarios.federation import run_federated_cell
@@ -201,6 +235,7 @@ def journal_cell_result(
     online_epochs: int = 1,
     local_epochs: int = 1,
     warm_start: bool = False,
+    profile: bool = False,
 ):
     """Journal one computed cell under the key a sweep would use.
 
@@ -212,7 +247,7 @@ def journal_cell_result(
     the record's path.
     """
     protocol = _protocol_dict(
-        n_jobs, record_every, pretrain, online_epochs, local_epochs
+        n_jobs, record_every, pretrain, online_epochs, local_epochs, profile
     )
     request = cell_request(cell, protocol, warm_start)
     return store.put(content_key(request), request, result)
@@ -231,6 +266,7 @@ def _execute_cell(args: tuple) -> dict:
         online_epochs=protocol["online_epochs"],
         local_epochs=protocol["local_epochs"],
         checkpoint=checkpoint,
+        profile=protocol.get("profile", False),
     )
 
 
@@ -277,6 +313,21 @@ class SweepReport:
 
     def render_series_csv(self) -> str:
         return render_sweep_series_csv(self.series_rows())
+
+    def telemetry(self) -> dict | None:
+        """Sweep-level roll-up of the cells' telemetry snapshots.
+
+        ``None`` unless at least one cell result carries a
+        ``"telemetry"`` payload (i.e. the sweep ran with profiling).
+        """
+        merged = obs.merge_snapshots(
+            r.get("telemetry") for r in self.results if r is not None
+        )
+        return merged if merged["n_runs"] else None
+
+    def render_telemetry(self, top: int | None = None) -> str | None:
+        merged = self.telemetry()
+        return render_report(merged, top=top) if merged is not None else None
 
 
 #: Documented floor on the pool size: never less than one worker, even
@@ -331,6 +382,7 @@ def sweep(
     warm_start: bool = True,
     checkpoints: "ckpt.CheckpointStore | None" = None,
     progress: ProgressFn | None = None,
+    profile: bool = False,
 ) -> SweepReport:
     """Run the (scenario × system × seed) grid, in parallel, with caching.
 
@@ -366,6 +418,13 @@ def sweep(
     progress:
         Callable receiving one live status line per event (cells done /
         cached / total); e.g. ``lambda line: print(line, file=sys.stderr)``.
+        ``None`` routes the lines through this module's logger at INFO.
+    profile:
+        Run every computed cell under telemetry capture: results carry
+        per-run snapshots, the report rolls them up
+        (:meth:`SweepReport.telemetry`), and — when caching is on — the
+        roll-up is written to ``<store.root>/telemetry.json``. Profiled
+        cells occupy separate cache slots from unprofiled ones.
 
     Results come back in grid order (scenario-major, then system, then
     seed) regardless of which worker finished first.
@@ -386,12 +445,14 @@ def sweep(
     if ckpt_store is None and use_cache and warm_start:
         ckpt_store = ckpt.CheckpointStore(store.root / "checkpoints")
     protocol = _protocol_dict(
-        n_jobs, record_every, pretrain, online_epochs, local_epochs
+        n_jobs, record_every, pretrain, online_epochs, local_epochs, profile
     )
 
     def emit(line: str) -> None:
         if progress is not None:
             progress(line)
+        else:
+            logger.info("%s", line.lstrip("# "))
 
     cells = [
         SweepCell(spec, system, seed)
@@ -531,7 +592,17 @@ def sweep(
                 journal_cell,
             )
 
-    return SweepReport(results=list(results), cached=cached, keys=keys)  # type: ignore[arg-type]
+    report = SweepReport(
+        results=list(results),  # type: ignore[arg-type]
+        cached=cached,
+        keys=keys,
+    )
+    if profile and use_cache:
+        merged = report.telemetry()
+        if merged is not None:
+            path = write_snapshot(merged, store.root / "telemetry.json")
+            emit(f"# telemetry: roll-up of {merged['n_runs']} runs -> {path}")
+    return report
 
 
 def _run_pipelined(

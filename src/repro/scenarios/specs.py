@@ -86,7 +86,9 @@ class FlashCrowdSpec:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.start_fraction < 1.0:
-            raise ValueError(f"start_fraction must be in [0, 1), got {self.start_fraction}")
+            raise ValueError(
+                f"start_fraction must be in [0, 1), got {self.start_fraction}"
+            )
         if not 0.0 < self.duration_fraction <= 1.0:
             raise ValueError(
                 f"duration_fraction must be in (0, 1], got {self.duration_fraction}"
@@ -656,7 +658,11 @@ class FleetSpec:
         return tuple(models)
 
     def groups(self) -> int:
-        return self.num_groups if self.num_groups is not None else groups_for(self.num_servers)
+        return (
+            self.num_groups
+            if self.num_groups is not None
+            else groups_for(self.num_servers)
+        )
 
 
 @dataclass(frozen=True)
@@ -710,7 +716,9 @@ class CapacityWindowSpec:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.start_fraction < 1.0:
-            raise ValueError(f"start_fraction must be in [0, 1), got {self.start_fraction}")
+            raise ValueError(
+                f"start_fraction must be in [0, 1), got {self.start_fraction}"
+            )
         if not 0.0 < self.duration_fraction <= 1.0:
             raise ValueError(
                 f"duration_fraction must be in (0, 1], got {self.duration_fraction}"

@@ -30,7 +30,10 @@ from pathlib import Path
 #: ``federation`` policy); federated results carry a ``"federation"``
 #: label and a per-site breakdown under ``"sites"`` (totals and series
 #: per site), with the top-level series fleet-wide merges.
-SCHEMA_VERSION = 4
+#: v5: profiled cells carry ``"profile": True`` in their protocol (so
+#: profiled and unprofiled runs never share a cache slot) and a
+#: ``"telemetry"`` snapshot (:mod:`repro.obs.telemetry`) in the result.
+SCHEMA_VERSION = 5
 
 DEFAULT_ROOT = Path(".repro-cache")
 

@@ -142,13 +142,20 @@ class MetricsCollector:
             )
 
     def close(self, now: float, cluster_energy: float) -> None:
-        """Append a final series point if the last completion wasn't sampled."""
+        """Append a final series point if the last completion wasn't sampled.
+
+        The point is stamped at ``now`` — the close time — not at
+        ``final_time`` (the last completion): ``cluster_energy`` is the
+        total synced at ``now``, and a point pairing close-time energy
+        with completion-time timestamps would overstate average power
+        whenever the run drains idle tail time past the last completion.
+        """
         self._settle_tariff(now, cluster_energy)
         if not self.series or self.series[-1].n_completed != self.n_completed:
             self.series.append(
                 SeriesPoint(
                     self.n_completed,
-                    self.final_time,
+                    now,
                     self.acc_latency,
                     cluster_energy,
                     self.acc_cost_usd,

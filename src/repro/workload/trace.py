@@ -19,14 +19,18 @@ from __future__ import annotations
 
 import csv
 import heapq
+import logging
 import math
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.obs import telemetry as obs
 from repro.sim.churn import CapacityEvent
 from repro.sim.job import Job
+
+logger = logging.getLogger(__name__)
 
 _HEADER = ["job_id", "arrival_time", "duration", "cpu", "mem", "disk"]
 
@@ -88,23 +92,29 @@ def read_trace_csv(path: str | Path) -> list[Job]:
         On a malformed header or row.
     """
     path = Path(path)
+    tel = obs.get()
     jobs: list[Job] = []
-    with path.open(newline="") as fh:
-        reader = csv.reader(fh)
-        header = next(reader, None)
-        if header != _HEADER:
-            raise ValueError(f"{path}: unexpected header {header!r}")
-        for lineno, row in enumerate(reader, start=2):
-            if len(row) != len(_HEADER):
-                raise ValueError(f"{path}:{lineno}: expected {len(_HEADER)} fields")
-            jobs.append(
-                Job(
-                    job_id=int(row[0]),
-                    arrival_time=float(row[1]),
-                    duration=float(row[2]),
-                    resources=(float(row[3]), float(row[4]), float(row[5])),
+    with tel.span("trace.parse"):
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header != _HEADER:
+                raise ValueError(f"{path}: unexpected header {header!r}")
+            for lineno, row in enumerate(reader, start=2):
+                if len(row) != len(_HEADER):
+                    raise ValueError(
+                        f"{path}:{lineno}: expected {len(_HEADER)} fields"
+                    )
+                jobs.append(
+                    Job(
+                        job_id=int(row[0]),
+                        arrival_time=float(row[1]),
+                        duration=float(row[2]),
+                        resources=(float(row[3]), float(row[4]), float(row[5])),
+                    )
                 )
-            )
+    tel.counter("trace.jobs_parsed", len(jobs))
+    logger.debug("parsed %d jobs from %s", len(jobs), path)
     return jobs
 
 
@@ -254,29 +264,41 @@ def read_google_task_events(
     argument (file) order.
     """
     Res = tuple[float, float, float]
-    merged = heapq.merge(
-        *(_iter_task_rows(path) for path in paths), key=lambda rec: rec[0]
-    )
-    pending: dict[int, tuple[float, Res]] = {}
-    records = []
-    for time_s, job_id, event, res in merged:
-        if event == _G_SUBMIT:
-            # Duplicate SUBMITs inside one incarnation keep the first.
-            if job_id not in pending:
-                pending[job_id] = (time_s, res)  # type: ignore[assignment]
-            continue
-        opened = pending.pop(job_id, None)  # FINISH: reset the incarnation
-        if opened is None:
-            continue  # FINISH with no open SUBMIT (trace window cut it off)
-        t_submit, submit_res = opened
-        duration = time_s - t_submit
-        if not min_duration <= duration <= max_duration:
-            continue
-        if any(r <= 0.0 or r > 1.0 for r in submit_res):
-            continue
-        records.append((t_submit, duration, submit_res))
+    tel = obs.get()
+    with tel.span("trace.parse"):
+        merged = heapq.merge(
+            *(_iter_task_rows(path) for path in paths), key=lambda rec: rec[0]
+        )
+        pending: dict[int, tuple[float, Res]] = {}
+        records = []
+        n_rows = 0
+        for time_s, job_id, event, res in merged:
+            n_rows += 1
+            if event == _G_SUBMIT:
+                # Duplicate SUBMITs inside one incarnation keep the first.
+                if job_id not in pending:
+                    pending[job_id] = (time_s, res)  # type: ignore[assignment]
+                continue
+            opened = pending.pop(job_id, None)  # FINISH: reset the incarnation
+            if opened is None:
+                continue  # FINISH with no open SUBMIT (trace window cut it off)
+            t_submit, submit_res = opened
+            duration = time_s - t_submit
+            if not min_duration <= duration <= max_duration:
+                continue
+            if any(r <= 0.0 or r > 1.0 for r in submit_res):
+                continue
+            records.append((t_submit, duration, submit_res))
 
-    records.sort(key=lambda rec: rec[0])
+        records.sort(key=lambda rec: rec[0])
+    tel.counter("trace.rows_scanned", n_rows)
+    tel.counter("trace.jobs_parsed", len(records))
+    logger.debug(
+        "paired %d jobs from %d usable task-event rows across %d files",
+        len(records),
+        n_rows,
+        len(paths),
+    )
     if not records:
         return []
     t0 = records[0][0]

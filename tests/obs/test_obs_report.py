@@ -1,0 +1,104 @@
+"""Tests for :mod:`repro.obs.report` — rendering and artifact I/O."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    load_snapshot,
+    phase_coverage,
+    render_report,
+    span_rows,
+    write_snapshot,
+)
+from repro.obs import telemetry as obs
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def snapshot() -> dict:
+    clock = FakeClock()
+    tel = obs.Telemetry(clock=clock)
+    with tel.span("run"):
+        clock.advance(0.5)  # uninstrumented slack
+        with tel.span("loop.event"):
+            clock.advance(3.0)
+        with tel.span("run.finalize"):
+            clock.advance(1.5)
+    tel.counter("jobs.completed", 42)
+    tel.gauge("events.queue_depth", 7.0)
+    tel.mark("jobs")
+    return tel.snapshot()
+
+
+class TestPhaseCoverage:
+    def test_coverage_is_one_minus_root_self_share(self, snapshot):
+        # 0.5 s of 5.0 s unattributed -> 90% coverage.
+        assert phase_coverage(snapshot) == pytest.approx(0.9)
+
+    def test_missing_root_is_zero(self, snapshot):
+        assert phase_coverage(snapshot, root="nope") == 0.0
+        assert phase_coverage({"spans": {}}) == 0.0
+
+    def test_zero_duration_root_is_zero(self):
+        tel = obs.Telemetry(clock=FakeClock())
+        with tel.span("run"):
+            pass
+        assert phase_coverage(tel.snapshot()) == 0.0
+
+
+class TestSpanRows:
+    def test_sorted_by_self_time_descending(self, snapshot):
+        names = [row[0] for row in span_rows(snapshot)]
+        assert names == ["loop.event", "run.finalize", "run"]
+
+    def test_top_limits_rows(self, snapshot):
+        assert len(span_rows(snapshot, top=2)) == 2
+        assert span_rows(snapshot, top=2)[0][0] == "loop.event"
+
+
+class TestRenderReport:
+    def test_report_sections(self, snapshot):
+        text = render_report(snapshot)
+        assert "telemetry: 5.000 s wall" in text
+        assert "90.0% of the run span attributed to phases" in text
+        assert "loop.event" in text
+        assert "jobs.completed" in text
+        assert "events.queue_depth" in text
+        assert "Rate" in text
+
+    def test_report_mentions_run_count_for_rollups(self, snapshot):
+        merged = obs.merge_snapshots([snapshot, snapshot])
+        assert "across 2 runs" in render_report(merged)
+
+    def test_empty_snapshot_renders(self):
+        text = render_report({"spans": {}, "wall_s": 0.0})
+        assert "(no spans recorded)" in text
+
+
+class TestArtifactIO:
+    def test_round_trip(self, snapshot, tmp_path):
+        path = write_snapshot(snapshot, tmp_path / "deep" / "telemetry.json")
+        assert path.is_file()
+        assert load_snapshot(path) == snapshot
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ValueError, match="not a telemetry snapshot"):
+            load_snapshot(bogus)
+        bogus.write_text(json.dumps([1, 2]))
+        with pytest.raises(ValueError, match="not a telemetry snapshot"):
+            load_snapshot(bogus)

@@ -53,6 +53,21 @@ class TestCollector:
         m.close(1.0, 10.0)
         assert [p.n_completed for p in m.series] == [1]
 
+    def test_close_stamps_final_point_at_close_time(self):
+        # Regression: the final point used to carry the last
+        # *completion's* timestamp next to energy synced at the *close*
+        # time, so average power overstated whenever the run drained
+        # idle tail time past the last completion.
+        m = MetricsCollector(record_every=3)
+        m.on_completion(done_job(1, 0.0, 0.0, 10.0), 10.0, 400.0)
+        m.on_completion(done_job(2, 0.0, 10.0, 20.0), 20.0, 900.0)
+        m.close(100.0, 5000.0)
+        last = m.series[-1]
+        assert last.time == 100.0
+        assert last.energy_joules == 5000.0
+        # 5000 J over 100 s of wall time, not over the 20 s of completions.
+        assert m.average_power_watts() == pytest.approx(50.0)
+
     def test_totals_from_last_point(self):
         m = MetricsCollector(record_every=1)
         m.on_completion(done_job(1, 0.0, 0.0, 100.0), 100.0, JOULES_PER_KWH / 2)

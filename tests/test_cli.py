@@ -112,7 +112,7 @@ class TestExecution:
         assert "paper-default" in captured
         assert "energy" in captured
 
-    def test_scenario_run_journals_schema_v4_result(self, capsys, tmp_path):
+    def test_scenario_run_journals_schema_v5_result(self, capsys, tmp_path):
         import json
 
         from repro.scenarios.store import SCHEMA_VERSION
@@ -124,7 +124,7 @@ class TestExecution:
         records = list(tmp_path.glob("*/*.json"))
         assert len(records) == 1
         record = json.loads(records[0].read_text())
-        assert record["schema"] == SCHEMA_VERSION == 4
+        assert record["schema"] == SCHEMA_VERSION == 5
         assert "cost_series" in record["result"]
         assert "co2_series" in record["result"]
 
@@ -235,3 +235,74 @@ class TestScenarioRunPositional:
         rc = main(["scenario", "run", "paper-default", "--name", "tenant-mix",
                    "--cache-dir", str(tmp_path)])
         assert rc == 2
+
+
+class TestObsCli:
+    def test_scenario_run_profile_writes_telemetry(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "--name", "paper-default",
+                   "--system", "packing", "--jobs", "60",
+                   "--cache-dir", str(tmp_path), "--profile"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Span" in captured.out  # rendered self-time breakdown
+        tel_path = tmp_path / "telemetry.json"
+        assert tel_path.is_file()
+        import json
+
+        snapshot = json.loads(tel_path.read_text())
+        assert "run" in snapshot["spans"]
+        assert snapshot["counters"]["jobs.completed"] == 60
+
+    def test_profile_conflicts_with_shards(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "--name", "paper-default",
+                   "--shards", "2", "--profile", "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "--profile" in capsys.readouterr().err
+
+    def test_obs_report_renders_artifact(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "--name", "paper-default",
+                   "--system", "packing", "--jobs", "60",
+                   "--cache-dir", str(tmp_path), "--profile"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["obs", "report", str(tmp_path / "telemetry.json"),
+                   "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "Span" in out
+
+    def test_obs_report_rejects_non_snapshot(self, capsys, tmp_path):
+        bogus = tmp_path / "not_telemetry.json"
+        bogus.write_text("{\"foo\": 1}")
+        rc = main(["obs", "report", str(bogus)])
+        assert rc == 2
+        assert "not a telemetry snapshot" in capsys.readouterr().err
+
+    def test_sweep_profile_rolls_up(self, capsys, tmp_path):
+        rc = main(["scenario", "sweep", "--scenarios", "paper-default",
+                   "--systems", "packing", "--jobs", "60", "--workers", "1",
+                   "--cache-dir", str(tmp_path), "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Span" in out
+        import json
+
+        snapshot = json.loads((tmp_path / "telemetry.json").read_text())
+        assert snapshot["n_runs"] == 1
+        assert "run" in snapshot["spans"]
+
+    def test_log_level_flag(self, capsys, tmp_path):
+        import logging
+
+        rc = main(["--log-level", "DEBUG", "systems"])
+        assert rc == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        rc = main(["systems"])  # default restores WARNING
+        assert rc == 0
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_unknown_log_level_errors(self, capsys):
+        rc = main(["--log-level", "LOUD", "systems"])
+        assert rc == 2
+        assert "unknown log level" in capsys.readouterr().err
