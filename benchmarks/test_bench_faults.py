@@ -1,0 +1,176 @@
+"""Fault-path overhead bench.
+
+The fault runtime promises two things about performance: a run with no
+faults configured pays (almost) nothing — zero-fault results are
+bit-identical with the engine's bare output — and a heavily-faulted run
+(crashes + retries + stragglers, the ``failure-storm`` regime) stays
+within a small constant factor of the clean run despite kill/requeue
+churn and rerouting.
+
+This bench measures three configurations of the same workload on a
+20-server site:
+
+* **bare** — no fault machinery installed at all;
+* **inert** — a null :class:`FaultSpec` runtime installed (the hook
+  overhead every faulted *scenario* pays on its fault-free cells);
+* **storm** — failure-storm-like parameters (crashes, 5% job failures,
+  5% stragglers, retry backoff).
+
+Results merge into ``BENCH_hotpath.json`` under the ``faults`` key.
+The acceptance gates assert bare/inert bit-identity and bound the inert
+hook overhead; ``REPRO_BENCH_FAULT_OVERHEAD`` relaxes the latter for
+noisy shared runners.
+
+Scale knob: ``REPRO_BENCH_FAULT_JOBS`` (trace length, default 2000).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import save_artifact
+from repro.core.baselines import AlwaysOnPolicy, RoundRobinBroker
+from repro.faults.inject import install_faults
+from repro.faults.plan import build_site_plan
+from repro.faults.spec import FaultSpec
+from repro.sim.federation import build_federation
+from repro.workload.synthetic import SyntheticTraceConfig, generate_trace
+
+FAULT_JOBS = int(os.environ.get("REPRO_BENCH_FAULT_JOBS", "2000"))
+MAX_INERT_OVERHEAD = float(os.environ.get("REPRO_BENCH_FAULT_OVERHEAD", "0.25"))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+NUM_SERVERS = 20
+
+STORM = FaultSpec(
+    crashes_per_server=1.5,
+    crash_recovery_fraction=0.04,
+    job_failure_prob=0.05,
+    straggler_prob=0.05,
+    straggler_factor=3.0,
+    max_retries=3,
+    retry_backoff_s=60.0,
+)
+
+
+def build_site():
+    return build_federation(
+        [
+            dict(
+                name="site",
+                num_servers=NUM_SERVERS,
+                broker=RoundRobinBroker(),
+                policies=AlwaysOnPolicy(),
+                initially_on=True,
+            )
+        ]
+    )
+
+
+def fingerprint(result):
+    m = result.sites[0].metrics
+    return (
+        m.n_arrived,
+        m.n_completed,
+        m.n_failed,
+        m.n_retries,
+        m.acc_latency,
+        m.total_energy_kwh(),
+        result.final_time,
+    )
+
+
+def run_once(trace, spec, seed):
+    """One timed run; ``spec=None`` means no fault machinery at all."""
+    engine = build_site()
+    runtime = None
+    if spec is not None:
+        horizon = max(j.arrival_time for j in trace) + 500.0
+        runtime = install_faults(
+            engine, [build_site_plan(spec, NUM_SERVERS, horizon, seed)]
+        )
+    jobs = [j.copy() for j in trace]
+    t0 = time.perf_counter()
+    result = engine.run([jobs])
+    wall = time.perf_counter() - t0
+    return result, runtime, wall
+
+
+def best_of(trace, spec, seed, reps=3):
+    best_wall = float("inf")
+    result = runtime = None
+    for _ in range(reps):
+        r, rt, wall = run_once(trace, spec, seed)
+        if wall < best_wall:
+            best_wall, result, runtime = wall, r, rt
+    return result, runtime, best_wall
+
+
+def test_bench_fault_overhead(out_dir, bench_seed):
+    trace = generate_trace(
+        SyntheticTraceConfig(n_jobs=FAULT_JOBS, horizon=FAULT_JOBS * 10.0),
+        seed=bench_seed,
+    )
+
+    bare_result, _, bare_s = best_of(trace, None, bench_seed)
+    inert_result, inert_rt, inert_s = best_of(trace, FaultSpec(), bench_seed)
+    storm_result, storm_rt, storm_s = best_of(trace, STORM, bench_seed)
+
+    # Gate 1: the inert runtime changes nothing — bit-identical metrics.
+    assert fingerprint(inert_result) == fingerprint(bare_result)
+    assert inert_rt.total_crashes == 0
+    assert inert_rt.broker_fallbacks == 0
+
+    # Gate 2: the storm conserves jobs — nothing silently dropped.
+    m = storm_result.sites[0].metrics
+    assert m.n_completed + m.n_failed == FAULT_JOBS
+
+    inert_overhead = inert_s / bare_s - 1.0
+    if inert_overhead > MAX_INERT_OVERHEAD:
+        # One re-measure before judging (shared-runner noise relief).
+        _, _, bare_s2 = best_of(trace, None, bench_seed)
+        _, _, inert_s2 = best_of(trace, FaultSpec(), bench_seed)
+        bare_s = min(bare_s, bare_s2)
+        inert_s = min(inert_s, inert_s2)
+        inert_overhead = inert_s / bare_s - 1.0
+
+    payload = {
+        "jobs": FAULT_JOBS,
+        "num_servers": NUM_SERVERS,
+        "bare_ms": round(bare_s * 1e3, 2),
+        "inert_ms": round(inert_s * 1e3, 2),
+        "storm_ms": round(storm_s * 1e3, 2),
+        "inert_overhead_pct": round(inert_overhead * 100.0, 2),
+        "storm_slowdown": round(storm_s / bare_s, 2),
+        "storm": {
+            "completed": m.n_completed,
+            "failed": m.n_failed,
+            "retries": m.n_retries,
+            "goodput": round(m.goodput, 4),
+            "crashes": storm_rt.total_crashes,
+            "jobs_killed": storm_rt.total_jobs_killed,
+            "stragglers": storm_rt.total_stragglers,
+            "availability": round(
+                storm_rt.fleet_availability(storm_result.final_time), 4
+            ),
+        },
+    }
+
+    out_path = REPO_ROOT / "BENCH_hotpath.json"
+    try:
+        merged = json.loads(out_path.read_text())
+    except (OSError, ValueError):
+        merged = {}
+    merged["faults"] = payload
+    text = json.dumps(merged, indent=2)
+    out_path.write_text(text + "\n")
+    save_artifact(out_dir, "BENCH_faults.json", json.dumps(payload, indent=2))
+
+    assert inert_overhead <= MAX_INERT_OVERHEAD, (
+        f"inert fault runtime costs {inert_overhead * 100.0:.1f}% over the "
+        f"bare engine (gate {MAX_INERT_OVERHEAD * 100.0:.0f}%); rerun on a "
+        "quiet machine or set REPRO_BENCH_FAULT_OVERHEAD"
+    )

@@ -17,6 +17,8 @@ Usage::
                                    [--seeds 0,1] [--jobs N] [--workers W]
                                    [--resume] [--no-warm-start]
                                    [--series-out FILE] [--profile]
+                                   [--cell-retries N] [--cell-timeout S]
+                                   [--strict]
     python -m repro obs report FILE [--top N]
 
 Global flags (before the subcommand): ``--log-level LEVEL`` or ``-v`` /
@@ -33,7 +35,11 @@ each completed cell under ``.repro-cache/`` as it finishes (so a killed
 sweep resumes with ``--resume``), trains each scenario's DRL policy once
 and warm-starts its cells from the checkpoint blob, and can emit the
 Fig-8-style per-system series (including cost/CO₂ when the scenario has
-a tariff) with ``--series-out``. ``scenario run --trace`` replays
+a tariff) with ``--series-out``. Failing cells are retried
+(``--cell-retries``), optionally time-boxed (``--cell-timeout``), and
+then quarantined — journaled to ``quarantine.jsonl`` while the sweep
+carries on (``--strict`` restores fail-fast). ``scenario run --trace``
+replays
 recorded Google task-events files through any scenario; unsharded runs
 journal their result exactly like a sweep cell would. ``--profile``
 captures run telemetry (per-phase self-time breakdown, counters, rates),
@@ -318,10 +324,17 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 f"electricity: ${cell.get('cost_usd', 0.0):.2f}  "
                 f"CO2: {cell.get('co2_kg', 0.0):.2f} kg"
             )
+        if spec.faults is not None or any(s.faults for s in spec.sites):
+            lines.append(
+                f"resilience: failed {cell.get('failed_jobs', 0)}  "
+                f"retries {cell.get('retries', 0)}  "
+                f"goodput {cell.get('goodput', 1.0):.3f}  "
+                f"availability {cell.get('availability', 1.0):.3f}"
+            )
         if cell.get("sites"):
             lines.append(f"federation: {cell.get('federation', spec.federation)}")
             for site in cell["sites"]:
-                lines.append(
+                line = (
                     f"  site {site['site']}: servers {site['num_servers']}  "
                     f"home {site['n_jobs_home']}  served "
                     f"{site['n_jobs_completed']}  "
@@ -329,6 +342,14 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                     f"cost ${site['cost_usd']:.2f}  "
                     f"CO2 {site['co2_kg']:.2f} kg"
                 )
+                if site.get("availability", 1.0) < 1.0 or site.get(
+                    "failed_jobs", 0
+                ):
+                    line += (
+                        f"  failed {site['failed_jobs']}  "
+                        f"avail {site['availability']:.3f}"
+                    )
+                lines.append(line)
         _emit("\n".join(lines), args.out)
         if args.profile and cell.get("telemetry"):
             from repro.obs import render_report, write_snapshot
@@ -365,6 +386,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         warm_start=not args.no_warm_start,
         progress=_progress_printer,
         profile=args.profile,
+        cell_retries=args.cell_retries,
+        cell_timeout=args.cell_timeout,
+        on_error="raise" if args.strict else "quarantine",
     )
     if args.resume and report.n_cached == 0:
         print("warning: --resume matched no journaled cells — the grid or "
@@ -374,6 +398,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         f"\n# {len(report.results)} cells: {report.n_cached} cached, "
         f"{report.n_computed} computed"
     )
+    if report.n_quarantined:
+        text += f", {report.n_quarantined} quarantined"
     _emit(text, args.out)
     if args.series_out is not None:
         args.series_out.write_text(report.render_series_csv() + "\n")
@@ -528,6 +554,17 @@ def build_parser() -> argparse.ArgumentParser:
     sc_sweep.add_argument("--profile", action="store_true",
                           help="capture telemetry per computed cell, roll it "
                                "up, and write telemetry.json to the cache dir")
+    sc_sweep.add_argument("--cell-retries", type=int, default=1, metavar="N",
+                          help="extra attempts per failing cell/training "
+                               "before quarantining it (default 1; 0 = none)")
+    sc_sweep.add_argument("--cell-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-cell wall-clock budget enforced in the "
+                               "worker (SIGALRM); overruns fail like any "
+                               "other cell error (default: none)")
+    sc_sweep.add_argument("--strict", action="store_true",
+                          help="fail the sweep on the first exhausted cell "
+                               "instead of quarantining it and sweeping on")
     sc_sweep.add_argument("--out", type=Path, default=None)
 
     p_obs = sub.add_parser("obs", help="telemetry artifacts (profiled runs)")

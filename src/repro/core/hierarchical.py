@@ -50,6 +50,7 @@ class HierarchicalSystem:
         keep_jobs: bool = False,
         capacity_events: tuple[CapacityEvent, ...] = (),
         tariff: "TariffModel | None" = None,
+        faults=None,
     ) -> ClusterEngine:
         """Construct a simulation engine around this system."""
         return build_simulation(
@@ -66,6 +67,7 @@ class HierarchicalSystem:
             keep_jobs=keep_jobs,
             capacity_events=capacity_events,
             tariff=tariff,
+            faults=faults,
         )
 
     def run(
@@ -75,10 +77,11 @@ class HierarchicalSystem:
         keep_jobs: bool = False,
         capacity_events: tuple[CapacityEvent, ...] = (),
         tariff: "TariffModel | None" = None,
+        faults=None,
     ):
         """Convenience: build an engine and run the trace."""
         return self.build_engine(
-            record_every, keep_jobs, capacity_events, tariff=tariff
+            record_every, keep_jobs, capacity_events, tariff=tariff, faults=faults
         ).run(jobs)
 
     def freeze(self) -> None:

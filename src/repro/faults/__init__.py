@@ -1,0 +1,35 @@
+"""Deterministic, seeded fault injection for the simulation stack.
+
+Three layers, matching the package's usual spec → plan → engine split:
+
+* :mod:`repro.faults.spec` — pure frozen dataclasses
+  (:class:`FaultSpec`, :class:`SiteOutageSpec`) embedded in scenario
+  content keys;
+* :mod:`repro.faults.plan` — seed-derived resolution of a spec into a
+  concrete crash schedule per site;
+* :mod:`repro.faults.inject` — the engine runtime (kill/requeue,
+  degraded routing, broker containment, availability accounting).
+"""
+
+from repro.faults.inject import FaultRuntime, SiteFaultState, install_faults
+from repro.faults.plan import (
+    CrashEvent,
+    SiteFaultPlan,
+    build_site_plan,
+    derive_fault_seed,
+    scenario_fault_plans,
+)
+from repro.faults.spec import FaultSpec, SiteOutageSpec
+
+__all__ = [
+    "CrashEvent",
+    "FaultRuntime",
+    "FaultSpec",
+    "SiteFaultPlan",
+    "SiteFaultState",
+    "SiteOutageSpec",
+    "build_site_plan",
+    "derive_fault_seed",
+    "install_faults",
+    "scenario_fault_plans",
+]

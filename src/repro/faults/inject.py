@@ -1,0 +1,383 @@
+"""Engine-side fault runtime: crashes, failures, stragglers, routing.
+
+:func:`install_faults` threads a resolved set of
+:class:`~repro.faults.plan.SiteFaultPlan`\\ s into a running
+:class:`~repro.sim.federation.FederationEngine`:
+
+* each server's finish scheduling is taken over (stragglers stretch the
+  service time, job failures fire at the would-be finish), with handles
+  retained so a crash can cancel in-flight work;
+* crash events kill running jobs and drain the queue — victims
+  re-enqueue through a retry budget with exponential backoff, and the
+  crashed server's capacity drops to zero until recovery;
+* arrivals and retries route around downed servers and dark sites, and
+  broker exceptions (a NaN'd DRL tier, an out-of-range decision) are
+  contained by a least-loaded heuristic fallback instead of aborting
+  the run.
+
+Discipline inherited from the telemetry work: when no faults are
+configured the runtime is never installed and the engine's fast path is
+untouched; when installed with *null* specs it schedules the identical
+finish events (same times, same kinds, same event order) and draws
+nothing from any random stream, so inert injection stays bit-identical
+— asserted by the zero-fault identity tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.faults.plan import SiteFaultPlan
+from repro.faults.spec import FaultSpec
+from repro.obs import telemetry as obs
+from repro.sim.server import PowerState, Server
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.federation import FederationEngine, Site
+    from repro.sim.job import Job
+
+_NULL_SPEC = FaultSpec()
+
+
+def _count(name: str, n: int = 1) -> None:
+    """Bump an obs counter when telemetry is recording (else free)."""
+    tel = obs.active()
+    if tel is not None:
+        tel.counter(name, n)
+
+
+class SiteFaultState:
+    """Mutable per-site fault state: rng streams, handles, downtime."""
+
+    def __init__(self, site_index: int, plan: SiteFaultPlan | None) -> None:
+        self.site_index = site_index
+        self.plan = plan
+        self.spec = plan.spec if plan is not None else _NULL_SPEC
+        if plan is not None and (
+            self.spec.job_failure_prob > 0.0 or self.spec.straggler_prob > 0.0
+        ):
+            fail_seq, straggler_seq = np.random.SeedSequence(plan.seed).spawn(2)
+            self.fail_rng = np.random.default_rng(fail_seq)
+            self.straggler_rng = np.random.default_rng(straggler_seq)
+        else:
+            self.fail_rng = None
+            self.straggler_rng = None
+        #: Finish events we scheduled, by job id (cancelled on crash).
+        self.finish_events: dict[int, object] = {}
+        self.down: set[int] = set()
+        self._down_since: dict[int, float] = {}
+        self.downtime: float = 0.0
+        # Tallies for result payloads.
+        self.crashes = 0
+        self.jobs_killed = 0
+        self.stragglers = 0
+        self.runtime: "FaultRuntime | None" = None  # set by install()
+
+    # -- job lifecycle --------------------------------------------------
+
+    def start_job(self, server: Server, job: "Job", now: float) -> None:
+        """Schedule the (possibly faulted) finish for a job starting now."""
+        duration = job.duration
+        spec = self.spec
+        if (
+            spec.straggler_prob > 0.0
+            and self.straggler_rng.random() < spec.straggler_prob
+        ):
+            duration = duration * spec.straggler_factor
+            self.stragglers += 1
+            _count("faults.stragglers")
+        self.finish_events[job.job_id] = server.events.schedule(
+            now + duration,
+            lambda t, server=server, job=job: self._finish(server, job, t),
+            kind=f"finish:{job.job_id}",
+        )
+
+    def _finish(self, server: Server, job: "Job", now: float) -> None:
+        """Our finish event fired: complete the job, or fail it."""
+        self.finish_events.pop(job.job_id, None)
+        spec = self.spec
+        if (
+            spec.job_failure_prob > 0.0
+            and self.fail_rng.random() < spec.job_failure_prob
+        ):
+            server.kill_job(job, now)
+            self.runtime.requeue(job, self.site_index, now)
+            return
+        self.runtime.attempts.pop(job.job_id, None)
+        server._on_job_finish(job, now)
+
+    # -- crash / recovery -----------------------------------------------
+
+    def crash(self, server: Server, now: float, recovery: float) -> None:
+        """Take a server down: kill its work, requeue it, schedule recovery.
+
+        Overlapping crash windows collapse first-crash-wins: a crash on
+        an already-down server is a no-op, so the earliest scheduled
+        recovery reopens it.
+        """
+        sid = server.server_id
+        if sid in self.down:
+            return
+        self.down.add(sid)
+        self._down_since[sid] = now
+        self.crashes += 1
+        _count("faults.crashes")
+        server.set_capacity(now, 0.0)
+        victims = list(server.running.values())
+        for job in victims:
+            handle = self.finish_events.pop(job.job_id, None)
+            if handle is not None:
+                handle.cancel()
+            server.kill_job(job, now)
+            self.jobs_killed += 1
+        queued = server.take_pending(now)
+        if (
+            server.state is PowerState.ACTIVE
+            and not server.running
+            and not server.pending
+        ):
+            server._enter_idle(now)
+        for job in victims:
+            self.runtime.requeue(job, self.site_index, now)
+        for job in queued:
+            self.runtime.requeue(job, self.site_index, now)
+        server.events.schedule(
+            now + recovery,
+            lambda t, server=server: self.recover(server, t),
+            kind=f"recover:{self.site_index}.{sid}",
+        )
+
+    def recover(self, server: Server, now: float) -> None:
+        sid = server.server_id
+        if sid not in self.down:
+            return
+        self.down.discard(sid)
+        self.downtime += now - self._down_since.pop(sid)
+        server.set_capacity(now, 1.0)
+
+    def availability(self, final_time: float, num_servers: int) -> float:
+        """Fraction of server-time up over the run, in [0, 1]."""
+        if final_time <= 0.0 or num_servers <= 0:
+            return 1.0
+        total_down = self.downtime + sum(
+            final_time - since for since in self._down_since.values()
+        )
+        return max(0.0, 1.0 - total_down / (num_servers * final_time))
+
+
+class FaultRuntime:
+    """Fault orchestration across the whole federation.
+
+    Owns the per-site states, the retry ledger, and the degraded
+    routing path; installed onto the engine by :func:`install_faults`.
+    """
+
+    def __init__(
+        self,
+        engine: "FederationEngine",
+        plans: Sequence[SiteFaultPlan | None],
+    ) -> None:
+        if len(plans) != len(engine.sites):
+            raise ValueError(
+                f"got {len(plans)} fault plans for {len(engine.sites)} sites"
+            )
+        self.engine = engine
+        self.states = [SiteFaultState(i, plan) for i, plan in enumerate(plans)]
+        for state in self.states:
+            state.runtime = self
+        #: Retry counts by job id (absent = fresh job).
+        self.attempts: dict[int, int] = {}
+        self.broker_fallbacks = 0
+        self.rerouted = 0
+
+    # -- installation ---------------------------------------------------
+
+    def install(self) -> None:
+        engine = self.engine
+        engine.faults = self
+        for index, site in enumerate(engine.sites):
+            state = self.states[index]
+            for server in site.cluster.servers:
+                server.faults = state
+                server.on_finish = self._finish_handler(index)
+            if state.plan is not None:
+                servers = site.cluster.servers
+                for event in state.plan.crashes:
+                    server = servers[event.server_id]
+                    engine.events.schedule(
+                        event.time,
+                        lambda t, state=state, server=server, rec=event.recovery: (
+                            state.crash(server, t, rec)
+                        ),
+                        kind=f"crash:{index}.{event.server_id}",
+                    )
+
+    def _finish_handler(self, index: int):
+        """Completion hook twin of the engine's, with broker containment.
+
+        Same effects as the engine's uninstrumented handler (ledger
+        sync, metrics, broker hooks); the broker callbacks alone are
+        wrapped so a diverged learner cannot abort the run.
+        """
+        engine = self.engine
+        site = engine.sites[index]
+
+        def handle(job: "Job", now: float) -> None:
+            site.cluster.sync(now)
+            site.metrics.on_completion(job, now, site.cluster.total_energy())
+            try:
+                site.broker.on_job_finish(job, site.cluster, now)
+            except Exception:
+                self._broker_fallback()
+            if engine.broker is not None:
+                try:
+                    engine.broker.on_job_finish(job, engine.sites, index, now)
+                except Exception:
+                    self._broker_fallback()
+
+        return handle
+
+    def _broker_fallback(self) -> None:
+        self.broker_fallbacks += 1
+        _count("faults.broker_fallbacks")
+
+    # -- degraded routing -----------------------------------------------
+
+    def handle_arrival(self, job: "Job", home: int, now: float) -> None:
+        self._route(job, home, now, arrival=True)
+
+    def _route(self, job: "Job", home: int, now: float, arrival: bool) -> None:
+        """Dispatch one job, degrading around brokers and downed capacity."""
+        engine = self.engine
+        sites = engine.sites
+        target: int | None
+        if engine.broker is not None:
+            try:
+                target = engine.broker.select_site(job, sites, home, now)
+            except Exception:
+                target = None
+            if target is not None and not 0 <= target < len(sites):
+                target = None
+            if target is None:
+                self._broker_fallback()
+                target = self._fallback_site(home)
+        else:
+            target = home
+        state = self.states[target]
+        if len(state.down) >= len(sites[target].cluster) and len(sites) > 1:
+            # Dark site: steer to the least-loaded site with live servers
+            # (if every site is dark, queue at the target anyway — work
+            # starts once recovery restores capacity).
+            rerouted_to = self._fallback_site(target)
+            if rerouted_to != target:
+                self.rerouted += 1
+                _count("faults.rerouted")
+                target = rerouted_to
+                state = self.states[target]
+        site = sites[target]
+        if arrival:
+            site.metrics.on_arrival(job, now)
+        site.cluster.sync(now)
+        index: int | None
+        try:
+            index = site.broker.select_server(job, site.cluster, now)
+        except Exception:
+            index = None
+        if index is not None and not 0 <= index < len(site.cluster):
+            index = None
+        if index is None:
+            self._broker_fallback()
+            index = self._fallback_server(site, state)
+        elif index in state.down:
+            self.rerouted += 1
+            _count("faults.rerouted")
+            index = self._fallback_server(site, state)
+        site.cluster[index].assign(job, now)
+
+    def _fallback_site(self, home: int) -> int:
+        """Least-loaded site with at least one live server (else home)."""
+        best: int | None = None
+        best_load = 0.0
+        for i, site in enumerate(self.engine.sites):
+            if len(self.states[i].down) >= len(site.cluster):
+                continue
+            load = float(site.cluster.ledger.in_system.sum())
+            if best is None or load < best_load:
+                best, best_load = i, load
+        return home if best is None else best
+
+    def _fallback_server(self, site: "Site", state: SiteFaultState) -> int:
+        """Least-loaded live server (lowest id wins ties; 0 if all down)."""
+        best: int | None = None
+        best_load = 0
+        for server in site.cluster.servers:
+            if server.server_id in state.down:
+                continue
+            load = server.jobs_in_system
+            if best is None or load < best_load:
+                best, best_load = server.server_id, load
+        return 0 if best is None else best
+
+    # -- retry ledger ---------------------------------------------------
+
+    def requeue(self, job: "Job", site_index: int, now: float) -> None:
+        """Re-enqueue a killed/failed job, or fail it past the budget."""
+        spec = self.states[site_index].spec
+        site = self.engine.sites[site_index]
+        n = self.attempts.get(job.job_id, 0) + 1
+        if n > spec.max_retries:
+            self.attempts.pop(job.job_id, None)
+            site.metrics.on_failure(job, now)
+            _count("faults.jobs_failed")
+            return
+        self.attempts[job.job_id] = n
+        site.metrics.on_retry(job, now)
+        _count("faults.retries")
+        delay = spec.retry_backoff_s * (2.0 ** (n - 1))
+        self.engine.events.schedule(
+            now + delay,
+            lambda t, job=job, home=site_index: self._route(
+                job, home, t, arrival=False
+            ),
+            kind=f"retry:{job.job_id}",
+        )
+
+    # -- result payload helpers -----------------------------------------
+
+    def site_availability(self, index: int, final_time: float) -> float:
+        site = self.engine.sites[index]
+        return self.states[index].availability(final_time, len(site.cluster))
+
+    def fleet_availability(self, final_time: float) -> float:
+        """Server-time-weighted availability across every site."""
+        total = sum(len(site.cluster) for site in self.engine.sites)
+        if total <= 0:
+            return 1.0
+        weighted = sum(
+            self.site_availability(i, final_time) * len(site.cluster)
+            for i, site in enumerate(self.engine.sites)
+        )
+        return weighted / total
+
+    @property
+    def total_crashes(self) -> int:
+        return sum(state.crashes for state in self.states)
+
+    @property
+    def total_jobs_killed(self) -> int:
+        return sum(state.jobs_killed for state in self.states)
+
+    @property
+    def total_stragglers(self) -> int:
+        return sum(state.stragglers for state in self.states)
+
+
+def install_faults(
+    engine: "FederationEngine", plans: Sequence[SiteFaultPlan | None]
+) -> FaultRuntime:
+    """Attach a fault runtime to ``engine`` (one plan per site, None ok)."""
+    runtime = FaultRuntime(engine, plans)
+    runtime.install()
+    return runtime

@@ -1,0 +1,111 @@
+"""Fault-injection specifications.
+
+Pure, frozen dataclasses with no dependency on the rest of the
+package, so :mod:`repro.scenarios.specs` can embed them in scenario
+content keys without import cycles. A :class:`FaultSpec` describes the
+*unplanned* failure dimension of a scenario — server crashes beyond
+planned churn, per-job failure probability, straggler slowdowns, and
+federation site outage windows — all resolved deterministically from
+the cell seed (see :mod:`repro.faults.plan`).
+
+The null spec (all rates zero, no outages) is the default everywhere
+and must be indistinguishable from not configuring faults at all:
+zero-fault runs stay bit-identical to the fault-unaware engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SiteOutageSpec:
+    """A planned-in-spec, unplanned-in-simulation site-wide outage.
+
+    Expressed as fractions of the run horizon (like
+    ``FlashCrowdSpec`` / ``CapacityWindowSpec``) so one spec scales
+    with ``--jobs``. During the window every server at ``site`` is
+    crashed: running jobs are killed and re-enqueued through the
+    retry path, and arrivals are routed to surviving sites.
+    """
+
+    site: int
+    start_fraction: float
+    duration_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.site < 0:
+            raise ValueError(f"site index must be >= 0, got {self.site}")
+        if not 0.0 <= self.start_fraction < 1.0:
+            raise ValueError(
+                f"start_fraction must be in [0, 1), got {self.start_fraction}"
+            )
+        if not 0.0 < self.duration_fraction <= 1.0:
+            raise ValueError(
+                f"duration_fraction must be in (0, 1], got {self.duration_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Seeded unplanned-failure model for a scenario or a single site.
+
+    ``crashes_per_server`` is the *expected* number of unplanned
+    crashes each server suffers over the run horizon (a Poisson count
+    per server, uniform crash times). A crash kills every running job
+    on the server (each re-enqueues with a retry budget and
+    exponential backoff) and takes its capacity to zero until it
+    recovers ``crash_recovery_fraction`` of the horizon later — unlike
+    planned ``CapacityWindowSpec`` churn, which drains gracefully and
+    never kills work.
+
+    ``job_failure_prob`` fails a job at its would-be finish time
+    (the work is lost and the job re-enqueues); ``straggler_prob``
+    stretches a job's service time by ``straggler_factor`` instead.
+    Both are drawn per job start from seed-derived streams.
+    """
+
+    crashes_per_server: float = 0.0
+    crash_recovery_fraction: float = 0.03
+    job_failure_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_factor: float = 2.0
+    max_retries: int = 3
+    retry_backoff_s: float = 30.0
+    site_outages: tuple[SiteOutageSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.crashes_per_server < 0.0:
+            raise ValueError(
+                f"crashes_per_server must be >= 0, got {self.crashes_per_server}"
+            )
+        if not 0.0 < self.crash_recovery_fraction <= 1.0:
+            raise ValueError(
+                "crash_recovery_fraction must be in (0, 1], got "
+                f"{self.crash_recovery_fraction}"
+            )
+        for name in ("job_failure_prob", "straggler_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.straggler_factor < 1.0:
+            raise ValueError(
+                f"straggler_factor must be >= 1, got {self.straggler_factor}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_s <= 0.0:
+            raise ValueError(
+                f"retry_backoff_s must be > 0, got {self.retry_backoff_s}"
+            )
+        if not isinstance(self.site_outages, tuple):
+            object.__setattr__(self, "site_outages", tuple(self.site_outages))
+
+    def is_null(self) -> bool:
+        """True when this spec injects nothing at all."""
+        return (
+            self.crashes_per_server == 0.0
+            and self.job_failure_prob == 0.0
+            and self.straggler_prob == 0.0
+            and not self.site_outages
+        )

@@ -14,7 +14,12 @@
 """
 
 from repro.harness.claims import ClaimReport, evaluate_claims
-from repro.harness.figures import FigureSeries, run_figure8, run_figure9, render_series_csv
+from repro.harness.figures import (
+    FigureSeries,
+    render_series_csv,
+    run_figure8,
+    run_figure9,
+)
 from repro.harness.report import format_table
 from repro.harness.runner import (
     RunResult,

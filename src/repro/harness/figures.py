@@ -38,7 +38,12 @@ def _run_figure(
     config = default_config(num_servers, seed=seed)
     eval_jobs, train_traces = make_traces(n_jobs, num_servers, seed)
     results: dict[str, RunResult] = standard_protocol(
-        systems, eval_jobs, config, train_traces, record_every=record_every, **make_kwargs
+        systems,
+        eval_jobs,
+        config,
+        train_traces,
+        record_every=record_every,
+        **make_kwargs,
     )
     return FigureSeries(
         num_servers=num_servers,

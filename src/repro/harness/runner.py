@@ -109,6 +109,12 @@ class RunResult:
     co2_series: tuple[tuple[int, float], ...] = ()
     #: Telemetry snapshot of the run (profiled runs only, else None).
     telemetry: dict | None = None
+    # Fault-injection extensions (defaults hold for fault-free runs).
+    failed_jobs: int = 0
+    retries: int = 0
+    goodput: float = 1.0
+    availability: float = 1.0
+    broker_fallbacks: int = 0
 
     @property
     def acc_latency_1e6(self) -> float:
@@ -129,6 +135,7 @@ def run_system(
     record_every: int = 200,
     capacity_events: tuple[CapacityEvent, ...] = (),
     tariff: "TariffModel | None" = None,
+    faults=None,
 ) -> RunResult:
     """Evaluate a (possibly trained) system on a fresh copy of a trace.
 
@@ -137,14 +144,20 @@ def run_system(
     attaches a price/carbon signal so the result carries cost and CO₂
     alongside energy (training is always tariff-blind — electricity
     accounting is an evaluation-side lens, not a reward term).
+    ``faults`` is an optional resolved
+    :class:`~repro.faults.plan.SiteFaultPlan`; like churn and tariffs it
+    applies to evaluation only, and the result then carries the
+    failed/retry/goodput/availability tallies.
     """
     result = system.run(
         [job.copy() for job in jobs],
         record_every=record_every,
         capacity_events=capacity_events,
         tariff=tariff,
+        faults=faults,
     )
     metrics = result.metrics
+    runtime = result.faults
     tel = obs.active()
     return RunResult(
         telemetry=tel.snapshot() if tel is not None else None,
@@ -162,6 +175,15 @@ def run_system(
         co2_kg=metrics.total_co2_kg(),
         cost_series=tuple(metrics.cost_series()),
         co2_series=tuple(metrics.co2_series()),
+        failed_jobs=metrics.n_failed,
+        retries=metrics.n_retries,
+        goodput=metrics.goodput,
+        availability=(
+            runtime.fleet_availability(result.final_time)
+            if runtime is not None
+            else 1.0
+        ),
+        broker_fallbacks=(runtime.broker_fallbacks if runtime is not None else 0),
     )
 
 

@@ -39,7 +39,9 @@ class TradeoffPoint:
     energy_per_job_wh: float  # watt-hours per job
 
     @classmethod
-    def from_result(cls, curve: str, parameter: float, result: RunResult) -> "TradeoffPoint":
+    def from_result(
+        cls, curve: str, parameter: float, result: RunResult
+    ) -> "TradeoffPoint":
         return cls(
             curve=curve,
             parameter=parameter,
@@ -174,4 +176,6 @@ def render_tradeoff_csv(points: list[TradeoffPoint]) -> str:
         [p.curve, p.parameter, f"{p.energy_per_job_wh:.4f}", f"{p.mean_latency:.2f}"]
         for p in points
     ]
-    return format_csv(["curve", "parameter", "energy_wh_per_job", "mean_latency_s"], rows)
+    return format_csv(
+        ["curve", "parameter", "energy_wh_per_job", "mean_latency_s"], rows
+    )

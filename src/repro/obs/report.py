@@ -11,7 +11,12 @@ the counters, gauge summaries, and throughput rates.
 from __future__ import annotations
 
 import json
+import logging
+import os
+import tempfile
 from pathlib import Path
+
+logger = logging.getLogger(__name__)
 
 _SPAN_HEADERS = ["Span", "Calls", "Total (s)", "Self (s)", "Self %", "Max (ms)"]
 
@@ -119,25 +124,65 @@ def render_report(snapshot: dict, top: int | None = None) -> str:
     return "\n".join(lines)
 
 
-def load_snapshot(path: str | Path) -> dict:
+def load_snapshot(path: str | Path, heal: bool = False) -> dict | None:
     """Read a telemetry JSON artifact, validating its basic shape.
+
+    With ``heal=True`` (the sweep roll-up path) a truncated or
+    otherwise corrupt snapshot — a worker killed mid-write before
+    snapshots became atomic, manual tampering — is discarded with a
+    warning and ``None`` is returned instead of raising, matching
+    ``ResultStore.get`` self-healing.
 
     Raises
     ------
     ValueError
-        If the file is not a telemetry snapshot (missing ``spans``).
+        If the file is not a telemetry snapshot (missing ``spans``)
+        and ``heal`` is False.
     """
     path = Path(path)
-    with path.open() as fh:
-        payload = json.load(fh)
+    try:
+        with path.open() as fh:
+            payload = json.load(fh)
+    except json.JSONDecodeError:
+        if heal:
+            logger.warning("telemetry snapshot %s is corrupt; discarding", path)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        raise
     if not isinstance(payload, dict) or "spans" not in payload:
+        if heal:
+            logger.warning(
+                "telemetry snapshot %s has no 'spans' key; discarding", path
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
         raise ValueError(f"{path}: not a telemetry snapshot (no 'spans' key)")
     return payload
 
 
 def write_snapshot(snapshot: dict, path: str | Path) -> Path:
-    """Write a snapshot as an indented, sorted-key JSON artifact."""
+    """Atomically write a snapshot as an indented, sorted-key artifact.
+
+    Temp file + ``os.replace``, like the result store: a reader (or a
+    resumed sweep rolling snapshots up) can never observe a torn write.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise
     return path

@@ -1,13 +1,15 @@
 """The builtin scenario suite.
 
-Twelve scenarios spanning the axes the ROADMAP cares about: the paper's
-own setup, stronger diurnal swings, flash crowds, a mixed-efficiency
-fleet, rolling maintenance churn, a high-load two-tenant mix, real
-Google-trace replay, carbon- and price-aware electricity accounting, a
-correlated (coincident-peak) tenant fleet, and two *federated*
-multi-site scenarios (correlated regional streams under least-loaded
-dispatch, and follow-the-sun price-greedy dispatch across shifted
-time-of-use tariffs). Each is a pure parameterization of
+Fourteen scenarios spanning the axes the ROADMAP cares about: the
+paper's own setup, stronger diurnal swings, flash crowds, a
+mixed-efficiency fleet, rolling maintenance churn, a high-load
+two-tenant mix, real Google-trace replay, carbon- and price-aware
+electricity accounting, a correlated (coincident-peak) tenant fleet,
+two *federated* multi-site scenarios (correlated regional streams under
+least-loaded dispatch, and follow-the-sun price-greedy dispatch across
+shifted time-of-use tariffs), and two *faulted* scenarios exercising
+:mod:`repro.faults` (a single-cluster failure storm, and a federation
+degraded by site outage windows). Each is a pure parameterization of
 :class:`~repro.scenarios.specs.ScenarioSpec`; importing this module
 registers all of them.
 
@@ -23,6 +25,7 @@ from __future__ import annotations
 from dataclasses import replace
 from pathlib import Path
 
+from repro.faults.spec import FaultSpec, SiteOutageSpec
 from repro.scenarios.registry import register
 from repro.scenarios.specs import (
     FleetSpec,
@@ -329,7 +332,47 @@ FOLLOW_THE_SUN = register(
     )
 )
 
-#: The twelve stock scenarios, in catalog order.
+FAILURE_STORM = register(
+    ScenarioSpec(
+        name="failure-storm",
+        description="The paper's cluster under unplanned fire: crashes, flaky jobs, and stragglers",
+        faults=FaultSpec(
+            crashes_per_server=1.5,
+            crash_recovery_fraction=0.04,
+            job_failure_prob=0.05,
+            straggler_prob=0.05,
+            straggler_factor=3.0,
+            max_retries=3,
+            retry_backoff_s=60.0,
+        ),
+    )
+)
+
+DEGRADED_FEDERATION = register(
+    ScenarioSpec(
+        name="degraded-federation",
+        description="Three-site federation losing whole sites to staggered outage windows; flaky jobs throughout",
+        sites=(
+            # Same grid spread as federated-correlated so dashboards can
+            # compare the healthy and degraded fleets like-for-like.
+            SiteSpec("hydro", _SITE_FLEET, tariff=TariffModel(carbon=120.0)),
+            SiteSpec("mixed", _SITE_FLEET, tariff=TariffModel(carbon=420.0)),
+            SiteSpec("coal", _SITE_FLEET, tariff=TariffModel(carbon=760.0)),
+        ),
+        federation="least-loaded",
+        faults=FaultSpec(
+            job_failure_prob=0.02,
+            max_retries=3,
+            retry_backoff_s=60.0,
+            site_outages=(
+                SiteOutageSpec(site=0, start_fraction=0.25, duration_fraction=0.12),
+                SiteOutageSpec(site=1, start_fraction=0.55, duration_fraction=0.12),
+            ),
+        ),
+    )
+)
+
+#: The fourteen stock scenarios, in catalog order.
 BUILTIN_SCENARIOS = (
     PAPER_DEFAULT,
     DIURNAL_HEAVY,
@@ -343,4 +386,6 @@ BUILTIN_SCENARIOS = (
     CORRELATED_FLEET,
     FEDERATED_CORRELATED,
     FOLLOW_THE_SUN,
+    FAILURE_STORM,
+    DEGRADED_FEDERATION,
 )

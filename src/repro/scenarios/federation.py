@@ -79,6 +79,7 @@ def build_federation_engine(
     record_every: int = 200,
     keep_jobs: bool = False,
     with_tariffs: bool = True,
+    faults=None,
 ) -> FederationEngine:
     """Fresh per-site clusters on one shared clock, wired to ``systems``.
 
@@ -87,7 +88,9 @@ def build_federation_engine(
     every call builds new clusters (simulations are single-use) around
     the systems' live controllers, so training passes and the evaluation
     run reuse the same learned state. ``with_tariffs=False`` builds the
-    tariff-blind engines training uses.
+    tariff-blind engines training uses. ``faults`` is an optional
+    per-site plan list (:func:`repro.faults.plan.scenario_fault_plans`)
+    installing the fault runtime; training engines never carry one.
     """
     events = EventQueue()
     sites = []
@@ -114,7 +117,12 @@ def build_federation_engine(
                 tariff=tariff,
             )
         )
-    return FederationEngine(sites, broker)
+    engine = FederationEngine(sites, broker)
+    if faults is not None:
+        from repro.faults.inject import install_faults
+
+        install_faults(engine, faults)
+    return engine
 
 
 def train_federation_broker(
@@ -224,10 +232,12 @@ def _series_payload(series: Sequence[SeriesPoint]) -> dict[str, list]:
 
 
 def _site_payload(
-    result: FederationResult, eval_streams: Sequence[list[Job]]
+    result: FederationResult,
+    eval_streams: Sequence[list[Job]],
+    runtime=None,
 ) -> list[dict]:
     payload = []
-    for site, stream in zip(result.sites, eval_streams):
+    for index, (site, stream) in enumerate(zip(result.sites, eval_streams)):
         metrics = site.metrics
         payload.append(
             {
@@ -241,6 +251,14 @@ def _site_payload(
                 "average_power_w": metrics.average_power_watts(),
                 "cost_usd": metrics.total_cost_usd(),
                 "co2_kg": metrics.total_co2_kg(),
+                "failed_jobs": metrics.n_failed,
+                "retries": metrics.n_retries,
+                "goodput": metrics.goodput,
+                "availability": (
+                    runtime.site_availability(index, result.final_time)
+                    if runtime is not None
+                    else 1.0
+                ),
                 **_series_payload(metrics.series),
             }
         )
@@ -278,8 +296,11 @@ def run_federated_cell(
         local_epochs=local_epochs,
         checkpoint=checkpoint,
     )
+    from repro.faults.plan import scenario_fault_plans
+
+    plans = scenario_fault_plans(spec, n_jobs, seed)
     engine = build_federation_engine(
-        spec, systems, broker, record_every=record_every
+        spec, systems, broker, record_every=record_every, faults=plans
     )
     events = spec.capacity_events(spec.horizon_for(n_jobs))
     if events:
@@ -295,8 +316,11 @@ def run_federated_cell(
         spec.federation,
     )
     result = engine.run([[job.copy() for job in stream] for stream in eval_streams])
+    runtime = engine.faults
     n_completed = result.n_completed
     energy_kwh = result.total_energy_kwh
+    n_failed = sum(site.metrics.n_failed for site in result.sites)
+    n_retries = sum(site.metrics.n_retries for site in result.sites)
     return {
         "scenario": spec.name,
         "system": system,
@@ -315,7 +339,20 @@ def run_federated_cell(
         "capacity_events": len(events),
         "cost_usd": result.total_cost_usd,
         "co2_kg": result.total_co2_kg,
+        "failed_jobs": n_failed,
+        "retries": n_retries,
+        "goodput": (
+            n_completed / (n_completed + n_failed)
+            if (n_completed + n_failed)
+            else 1.0
+        ),
+        "availability": (
+            runtime.fleet_availability(result.final_time)
+            if runtime is not None
+            else 1.0
+        ),
+        "broker_fallbacks": (runtime.broker_fallbacks if runtime is not None else 0),
         **_series_payload(result.fleet_series),
         "federation": spec.federation,
-        "sites": _site_payload(result, eval_streams),
+        "sites": _site_payload(result, eval_streams, runtime=runtime),
     }

@@ -31,10 +31,14 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import signal
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro.faults.plan import scenario_fault_plans
 from repro.harness.report import format_csv, format_table
 from repro.harness.runner import make_scenario_system, run_system
 from repro.obs import render_report, write_snapshot
@@ -42,7 +46,12 @@ from repro.obs import telemetry as obs
 from repro.scenarios import checkpoints as ckpt
 from repro.scenarios import registry
 from repro.scenarios.specs import ScenarioSpec
-from repro.scenarios.store import SCHEMA_VERSION, ResultStore, content_key
+from repro.scenarios.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    append_quarantine,
+    content_key,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -191,12 +200,14 @@ def run_cell(
             online_epochs=online_epochs,
             local_epochs=local_epochs,
         )
+    plans = scenario_fault_plans(spec, n_jobs, seed)
     result = run_system(
         built,
         eval_jobs,
         record_every=record_every,
         capacity_events=events,
         tariff=spec.tariff,
+        faults=plans[0] if plans else None,
     )
     return {
         "scenario": spec.name,
@@ -215,6 +226,12 @@ def run_cell(
         # Electricity account (zero without a scenario tariff).
         "cost_usd": result.cost_usd,
         "co2_kg": result.co2_kg,
+        # Fault account (defaults without a scenario FaultSpec).
+        "failed_jobs": result.failed_jobs,
+        "retries": result.retries,
+        "goodput": result.goodput,
+        "availability": result.availability,
+        "broker_fallbacks": result.broker_fallbacks,
         # Fig-8-style panels: accumulated latency / energy / cost / CO₂
         # vs completed jobs. Lists (not tuples) so computed and
         # JSON-reloaded results compare equal.
@@ -253,21 +270,68 @@ def journal_cell_result(
     return store.put(content_key(request), request, result)
 
 
+class CellTimeout(RuntimeError):
+    """A sweep cell overran its ``cell_timeout`` budget."""
+
+
+#: Env hook for chaos tests and CI: a comma-separated list of
+#: ``scenario:system:seed`` triples that poison-fail in the worker.
+CHAOS_POISON_ENV = "REPRO_CHAOS_POISON"
+
+
+def _poisoned(scenario: str, system: str, seed: int) -> bool:
+    poison = os.environ.get(CHAOS_POISON_ENV)
+    if not poison:
+        return False
+    tokens = {token.strip() for token in poison.split(",") if token.strip()}
+    return f"{scenario}:{system}:{seed}" in tokens
+
+
 def _execute_cell(args: tuple) -> dict:
-    """Process-pool entry point (must be module-level picklable)."""
-    spec, system, seed, protocol, checkpoint = args
-    return run_cell(
-        spec,
-        system,
-        n_jobs=protocol["n_jobs"],
-        seed=seed,
-        record_every=protocol["record_every"],
-        pretrain=protocol["pretrain"],
-        online_epochs=protocol["online_epochs"],
-        local_epochs=protocol["local_epochs"],
-        checkpoint=checkpoint,
-        profile=protocol.get("profile", False),
-    )
+    """Process-pool entry point (must be module-level picklable).
+
+    The optional sixth element is a per-cell wall-clock timeout in
+    seconds, enforced in-worker via ``SIGALRM`` (skipped silently on
+    platforms without it) so a wedged cell fails like any other cell
+    error — retried, then quarantined — instead of hanging the sweep.
+    """
+    spec, system, seed, protocol, checkpoint, *rest = args
+    timeout = rest[0] if rest else None
+    name = spec.name if isinstance(spec, ScenarioSpec) else str(spec)
+    if _poisoned(name, system, seed):
+        raise RuntimeError(
+            f"poison cell {name}:{system}:{seed} ({CHAOS_POISON_ENV})"
+        )
+
+    def execute() -> dict:
+        return run_cell(
+            spec,
+            system,
+            n_jobs=protocol["n_jobs"],
+            seed=seed,
+            record_every=protocol["record_every"],
+            pretrain=protocol["pretrain"],
+            online_epochs=protocol["online_epochs"],
+            local_epochs=protocol["local_epochs"],
+            checkpoint=checkpoint,
+            profile=protocol.get("profile", False),
+        )
+
+    if not timeout or not hasattr(signal, "SIGALRM"):
+        return execute()
+
+    def on_alarm(signum, frame):
+        raise CellTimeout(
+            f"cell {name} × {system} seed {seed} exceeded {timeout}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout))
+    try:
+        return execute()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def _train_policy_task(args: tuple):
@@ -285,11 +349,18 @@ def _train_policy_task(args: tuple):
 
 @dataclass
 class SweepReport:
-    """Everything a sweep produced: per-cell results plus provenance."""
+    """Everything a sweep produced: per-cell results plus provenance.
+
+    ``results`` holds ``None`` at quarantined cells' grid positions
+    (``cached``/``keys`` stay index-aligned); ``quarantined`` carries
+    their structured failure records — the same dicts journaled to
+    ``quarantine.jsonl`` in the store.
+    """
 
     results: list[dict]
     cached: list[bool]
     keys: list[str]
+    quarantined: list[dict] = field(default_factory=list)
 
     @property
     def n_cached(self) -> int:
@@ -299,8 +370,12 @@ class SweepReport:
     def n_computed(self) -> int:
         return len(self.cached) - self.n_cached
 
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
+
     def rows(self) -> list[dict]:
-        return aggregate_rows(self.results)
+        return aggregate_rows([r for r in self.results if r is not None])
 
     def render_table(self) -> str:
         return render_sweep_table(self.rows())
@@ -309,7 +384,9 @@ class SweepReport:
         return render_sweep_csv(self.rows())
 
     def series_rows(self) -> list[dict]:
-        return aggregate_series_rows(self.results)
+        return aggregate_series_rows(
+            [r for r in self.results if r is not None]
+        )
 
     def render_series_csv(self) -> str:
         return render_sweep_series_csv(self.series_rows())
@@ -383,6 +460,9 @@ def sweep(
     checkpoints: "ckpt.CheckpointStore | None" = None,
     progress: ProgressFn | None = None,
     profile: bool = False,
+    cell_retries: int = 1,
+    cell_timeout: float | None = None,
+    on_error: str = "quarantine",
 ) -> SweepReport:
     """Run the (scenario × system × seed) grid, in parallel, with caching.
 
@@ -425,10 +505,33 @@ def sweep(
         (:meth:`SweepReport.telemetry`), and — when caching is on — the
         roll-up is written to ``<store.root>/telemetry.json``. Profiled
         cells occupy separate cache slots from unprofiled ones.
+    cell_retries:
+        Extra attempts per failing cell (and per failing training)
+        before giving up on it, with exponential backoff between
+        attempts. 0 disables retries.
+    cell_timeout:
+        Per-cell wall-clock budget in seconds, enforced in the worker
+        via ``SIGALRM`` (no-op on platforms without it). A cell that
+        overruns fails with :class:`CellTimeout` and is retried /
+        quarantined like any other cell error. Trainings are exempt —
+        they are legitimately long and shared by many cells. ``None``
+        (the default) disables the budget. Execution knob only: it is
+        *not* part of the cell's content key.
+    on_error:
+        ``"quarantine"`` (the default) records a failing cell in the
+        store's ``quarantine.jsonl`` journal and the report's
+        ``quarantined`` list, then keeps sweeping — its grid slot stays
+        ``None``. ``"raise"`` restores fail-fast: the first exhausted
+        cell re-raises (retries still apply first).
 
     Results come back in grid order (scenario-major, then system, then
-    seed) regardless of which worker finished first.
+    seed) regardless of which worker finished first. Quarantined cells
+    leave ``None`` at their grid position; aggregation skips them.
     """
+    if on_error not in ("quarantine", "raise"):
+        raise ValueError(
+            f"on_error must be 'quarantine' or 'raise', got {on_error!r}"
+        )
     if scenarios is None:
         specs = list(registry.all_scenarios())
     else:
@@ -466,6 +569,7 @@ def sweep(
 
     results: list[dict | None] = [None] * len(cells)
     cached = [False] * len(cells)
+    quarantined: list[dict] = []
     pending: list[int] = []
     for i, key in enumerate(keys):
         record = store.get(key) if use_cache and not force else None
@@ -536,6 +640,8 @@ def sweep(
         ]
         done = {"cells": total - len(pending), "trained": 0}
 
+        failed_groups: set[str] = set()
+
         def cell_task(j: int) -> tuple:
             i = pending[j]
             return (
@@ -544,6 +650,7 @@ def sweep(
                 cells[i].seed,
                 protocol,
                 policies.get(group_keys.get(i)),
+                cell_timeout,
             )
 
         def register_policy(j: int, policy) -> None:
@@ -571,14 +678,81 @@ def sweep(
                 f"{cells[i].system} seed {cells[i].seed}: computed"
             )
 
+        def quarantine_record(
+            i: int, stage: str, exc: BaseException, attempts_n: int
+        ) -> dict:
+            record = {
+                "key": keys[i],
+                "scenario": cells[i].spec.name,
+                "system": cells[i].system,
+                "seed": cells[i].seed,
+                "stage": stage,
+                "error": f"{type(exc).__name__}: {exc}",
+                "attempts": attempts_n,
+            }
+            quarantined.append(record)
+            if use_cache:
+                append_quarantine(store.root, record)
+            return record
+
+        def quarantine_cell(j: int, exc: BaseException, attempts_n: int) -> None:
+            i = pending[j]
+            quarantine_record(i, "evaluate", exc, attempts_n)
+            done["cells"] += 1
+            emit(
+                f"# [{done['cells']}/{total}] {cells[i].spec.name} × "
+                f"{cells[i].system} seed {cells[i].seed}: QUARANTINED "
+                f"({type(exc).__name__}: {exc})"
+            )
+
+        def quarantine_train(j: int, exc: BaseException, attempts_n: int) -> None:
+            tkey, cell_index, _ = to_train[j]
+            failed_groups.add(tkey)
+            quarantine_record(cell_index, "train", exc, attempts_n)
+            cell = cells[cell_index]
+            emit(
+                f"# training {cell.spec.name} seed {cell.seed}: QUARANTINED "
+                f"({type(exc).__name__}: {exc})"
+            )
+
         n_workers = _pool_workers(workers, len(pending) + len(train_tasks))
         if n_workers == 1:
             # Serial: strict train-then-evaluate phases, in-process (so
             # tests can monkeypatch and results are trivially ordered).
+            # Retry-then-quarantine matches the pool path; ``raise``
+            # mode still honors retries before failing fast.
             for j, task in enumerate(train_tasks):
-                register_policy(j, _train_policy_task(task))
+                for attempt in range(cell_retries + 1):
+                    try:
+                        register_policy(j, _train_policy_task(task))
+                        break
+                    except Exception as exc:
+                        if attempt < cell_retries:
+                            time.sleep(_RETRY_BACKOFF_S * 2**attempt)
+                            continue
+                        if on_error == "raise":
+                            raise
+                        quarantine_train(j, exc, attempt + 1)
             for j in range(len(pending)):
-                journal_cell(j, _execute_cell(cell_task(j)))
+                tkey = group_keys.get(pending[j])
+                if tkey in failed_groups:
+                    quarantine_cell(
+                        j,
+                        RuntimeError("training for this cell's group failed"),
+                        0,
+                    )
+                    continue
+                for attempt in range(cell_retries + 1):
+                    try:
+                        journal_cell(j, _execute_cell(cell_task(j)))
+                        break
+                    except Exception as exc:
+                        if attempt < cell_retries:
+                            time.sleep(_RETRY_BACKOFF_S * 2**attempt)
+                            continue
+                        if on_error == "raise":
+                            raise
+                        quarantine_cell(j, exc, attempt + 1)
         else:
             _run_pipelined(
                 n_workers,
@@ -590,12 +764,19 @@ def sweep(
                 cell_task,
                 register_policy,
                 journal_cell,
+                quarantine_cell,
+                quarantine_train,
+                cell_retries,
+                on_error,
             )
+        if quarantined:
+            emit(f"# quarantined: {len(quarantined)} cells")
 
     report = SweepReport(
         results=list(results),  # type: ignore[arg-type]
         cached=cached,
         keys=keys,
+        quarantined=quarantined,
     )
     if profile and use_cache:
         merged = report.telemetry()
@@ -603,6 +784,13 @@ def sweep(
             path = write_snapshot(merged, store.root / "telemetry.json")
             emit(f"# telemetry: roll-up of {merged['n_runs']} runs -> {path}")
     return report
+
+
+#: Fresh pools spawned after :class:`BrokenProcessPool` before giving up.
+_MAX_POOL_RESPAWNS = 3
+
+#: Base backoff between retry attempts of a failing cell or training.
+_RETRY_BACKOFF_S = 0.5
 
 
 def _run_pipelined(
@@ -615,6 +803,10 @@ def _run_pipelined(
     cell_task,
     register_policy,
     journal_cell,
+    quarantine_cell,
+    quarantine_train,
+    cell_retries: int,
+    on_error: str,
 ) -> None:
     """Fan trainings and evaluations over one pool, without a barrier.
 
@@ -622,42 +814,118 @@ def _run_pipelined(
     are submitted immediately alongside the training tasks; each
     still-training group's cells are held back and dispatched the moment
     its policy lands, so the pool never idles behind the slowest
-    training. Completed results are delivered (journaled) even when a
-    later task fails — the first failure re-raises after the drain, and
-    a failed training simply never releases its group's cells.
+    training.
+
+    Degradation discipline:
+
+    * A failing task retries up to ``cell_retries`` times (exponential
+      backoff), then is quarantined — or, under ``on_error="raise"``,
+      re-raised after completed results are delivered. A quarantined
+      training quarantines its whole waiting group.
+    * :class:`BrokenProcessPool` (a worker SIGKILLed by the OOM killer,
+      a segfaulting extension) condemns every in-flight future, so the
+      pool is respawned and the interrupted tasks resubmitted *without*
+      charging them an attempt — they are innocent victims, not
+      failures. ``_MAX_POOL_RESPAWNS`` bounds the respawn loop.
     """
     waiting: dict[str, list[int]] = {}
     failure: BaseException | None = None
-    with ProcessPoolExecutor(
-        max_workers=n_workers, mp_context=_pool_context()
-    ) as pool:
-        futures: dict = {}
-        for j, task in enumerate(train_tasks):
-            futures[pool.submit(_train_policy_task, task)] = ("train", j)
-        for j in range(len(pending)):
-            tkey = group_keys.get(pending[j])
-            if tkey is not None and tkey not in policies:
-                waiting.setdefault(tkey, []).append(j)
-            else:
-                futures[pool.submit(_execute_cell, cell_task(j))] = ("cell", j)
-        while futures:
-            finished, _ = wait(list(futures), return_when=FIRST_COMPLETED)
-            for future in finished:
-                kind, j = futures.pop(future)
+    attempts: dict[tuple[str, int], int] = {}
+    ready: list[tuple[str, int]] = [("train", j) for j in range(len(train_tasks))]
+    for j in range(len(pending)):
+        tkey = group_keys.get(pending[j])
+        if tkey is not None and tkey not in policies:
+            waiting.setdefault(tkey, []).append(j)
+        else:
+            ready.append(("cell", j))
+    respawns = 0
+    while ready and failure is None:
+        broke = False
+        with ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=_pool_context()
+        ) as pool:
+            futures: dict = {}
+
+            def submit(item: tuple[str, int]) -> None:
+                nonlocal broke
+                kind, j = item
+                if broke:
+                    ready.append(item)
+                    return
                 try:
-                    value = future.result()
+                    if kind == "train":
+                        future = pool.submit(_train_policy_task, train_tasks[j])
+                    else:
+                        future = pool.submit(_execute_cell, cell_task(j))
+                except BrokenProcessPool:
+                    broke = True
+                    ready.append(item)
+                    return
+                futures[future] = item
+
+            batch = list(ready)
+            ready.clear()
+            for item in batch:
+                submit(item)
+            while futures:
+                finished, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for future in finished:
+                    kind, j = item = futures.pop(future)
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool:
+                        # The break killed this task, it didn't fail it:
+                        # resubmit to the respawned pool, attempt uncharged.
+                        broke = True
+                        if failure is None:
+                            ready.append(item)
+                        continue
+                    except BaseException as exc:
+                        if failure is not None:
+                            continue
+                        if not isinstance(exc, Exception):
+                            failure = exc  # KeyboardInterrupt, SystemExit
+                            continue
+                        n = attempts[item] = attempts.get(item, 0) + 1
+                        if n <= cell_retries:
+                            time.sleep(_RETRY_BACKOFF_S * 2 ** (n - 1))
+                            submit(item)
+                        elif on_error == "raise":
+                            failure = exc  # deliver the rest, then re-raise
+                        elif kind == "train":
+                            quarantine_train(j, exc, n)
+                            for k in waiting.pop(to_train[j][0], ()):
+                                quarantine_cell(
+                                    k,
+                                    RuntimeError(
+                                        "training for this cell's group failed"
+                                    ),
+                                    0,
+                                )
+                        else:
+                            quarantine_cell(j, exc, n)
+                        continue
                     if kind == "train":
                         register_policy(j, value)
-                        for k in waiting.pop(to_train[j][0], ()):
-                            futures[pool.submit(_execute_cell, cell_task(k))] = (
-                                "cell",
-                                k,
-                            )
+                        if failure is None:
+                            for k in waiting.pop(to_train[j][0], ()):
+                                submit(("cell", k))
                     else:
                         journal_cell(j, value)
-                except BaseException as exc:  # deliver the rest, then re-raise
-                    if failure is None:
-                        failure = exc
+        if broke and failure is None:
+            respawns += 1
+            if respawns > _MAX_POOL_RESPAWNS:
+                raise RuntimeError(
+                    f"process pool broke {respawns} times "
+                    f"({len(ready)} tasks outstanding); giving up"
+                )
+            logger.warning(
+                "process pool broke; respawning (%d/%d) and resubmitting "
+                "%d interrupted task(s)",
+                respawns,
+                _MAX_POOL_RESPAWNS,
+                len(ready),
+            )
     if failure is not None:
         raise failure
 
@@ -696,6 +964,10 @@ def aggregate_rows(results: Sequence[dict]) -> list[dict]:
             "average_power_w": sum(r.get("average_power_w", 0.0) for r in bucket) / n,
             "cost_usd": sum(r.get("cost_usd", 0.0) for r in bucket) / n,
             "co2_kg": sum(r.get("co2_kg", 0.0) for r in bucket) / n,
+            # Fault account (.get(): pre-v6 records have no faults).
+            "failed_jobs": sum(r.get("failed_jobs", 0) for r in bucket) / n,
+            "goodput": sum(r.get("goodput", 1.0) for r in bucket) / n,
+            "availability": sum(r.get("availability", 1.0) for r in bucket) / n,
         }
 
     for (scenario, system), bucket in groups.items():
@@ -767,6 +1039,8 @@ _SWEEP_HEADERS = [
     "Power (W)",
     "Cost ($)",
     "CO2 (kg)",
+    "Failed",
+    "Goodput",
 ]
 
 
@@ -782,6 +1056,8 @@ def _sweep_cells(row: dict) -> list:
         f"{row['average_power_w']:.2f}",
         f"{row['cost_usd']:.2f}",
         f"{row['co2_kg']:.2f}",
+        f"{row.get('failed_jobs', 0.0):.1f}",
+        f"{row.get('goodput', 1.0):.3f}",
     ]
 
 
@@ -803,8 +1079,13 @@ def render_sweep_csv(rows: Sequence[dict]) -> str:
         "average_power_w",
         "cost_usd",
         "co2_kg",
+        "failed_jobs",
+        "goodput",
+        "availability",
     ]
-    return format_csv(headers, [[row[h] for h in headers] for row in rows])
+    return format_csv(
+        headers, [[row.get(h, "") for h in headers] for row in rows]
+    )
 
 
 def render_sweep_series_csv(rows: Sequence[dict]) -> str:

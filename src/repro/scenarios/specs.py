@@ -23,6 +23,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.config import ExperimentConfig, GlobalTierConfig
+from repro.faults.spec import FaultSpec, SiteOutageSpec
 from repro.scenarios.store import content_key
 from repro.sim.churn import CapacityEvent
 from repro.sim.job import Job
@@ -687,18 +688,28 @@ class SiteSpec:
         The site's share of the fleet-wide job stream (normalized over
         sites); the *home* stream — the federation tier may still move
         jobs elsewhere.
+    faults:
+        Site-local unplanned-failure model, overriding the scenario's
+        ``faults`` for this site. Site-wide outage windows live on the
+        scenario-level spec (which sees every site index), not here.
     """
 
     name: str
     fleet: FleetSpec = field(default_factory=FleetSpec)
     tariff: TariffModel | None = None
     weight: float = 1.0
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("site name must be non-empty")
         if self.weight <= 0:
             raise ValueError(f"site weight must be positive, got {self.weight}")
+        if self.faults is not None and self.faults.site_outages:
+            raise ValueError(
+                f"site {self.name!r}: site_outages belong on the scenario's "
+                "FaultSpec (which can see every site index), not a SiteSpec's"
+            )
 
 
 @dataclass(frozen=True)
@@ -810,6 +821,9 @@ class ScenarioSpec:
     tariff: TariffModel | None = None
     sites: tuple[SiteSpec, ...] = ()
     federation: str = "home"
+    #: Unplanned-failure model (crashes, job failures, stragglers, site
+    #: outages); seeded per cell and content-keyed like everything else.
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -850,6 +864,20 @@ class ScenarioSpec:
                 raise ValueError(
                     f"scenario {self.name!r}: capacity window targets servers "
                     f"{bad} outside the {self.fleet.num_servers}-server fleet"
+                )
+        if self.faults is not None and self.faults.site_outages:
+            if not self.sites:
+                raise ValueError(
+                    f"scenario {self.name!r}: site_outages need a federated "
+                    "scenario (non-empty sites tuple)"
+                )
+            bad_sites = [
+                o.site for o in self.faults.site_outages if o.site >= len(self.sites)
+            ]
+            if bad_sites:
+                raise ValueError(
+                    f"scenario {self.name!r}: site outages target sites "
+                    f"{bad_sites} outside the {len(self.sites)}-site federation"
                 )
 
     @property

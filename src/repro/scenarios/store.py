@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the result payload's semantics change; keyed into every
 #: request so stale cache entries are never silently reused.
@@ -33,7 +36,11 @@ from pathlib import Path
 #: v5: profiled cells carry ``"profile": True`` in their protocol (so
 #: profiled and unprofiled runs never share a cache slot) and a
 #: ``"telemetry"`` snapshot (:mod:`repro.obs.telemetry`) in the result.
-SCHEMA_VERSION = 5
+#: v6: scenarios may inject faults (``ScenarioSpec.faults`` /
+#: ``SiteSpec.faults``, :mod:`repro.faults`); results carry
+#: ``failed_jobs``/``retries``/``goodput``/``availability`` (and
+#: ``broker_fallbacks``), per site too on federated cells.
+SCHEMA_VERSION = 6
 
 DEFAULT_ROOT = Path(".repro-cache")
 
@@ -139,3 +146,72 @@ class ResultStore(ContentAddressedStore):
                 pass
             raise
         return path
+
+
+#: Structured failure journal for quarantined sweep cells, one JSON
+#: object per line, living beside the cell records in the store root.
+QUARANTINE_FILE = "quarantine.jsonl"
+
+
+def append_quarantine(root: str | Path, record: dict) -> Path:
+    """Append one structured failure record to the quarantine journal.
+
+    A single-line append is atomic enough for the sweep's process model
+    (one orchestrator process writes; workers never touch the journal).
+    """
+    path = Path(root) / QUARANTINE_FILE
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(canonical_json(record) + "\n")
+    return path
+
+
+def read_quarantine(root: str | Path) -> list[dict]:
+    """Load the quarantine journal, self-healing corrupt lines.
+
+    A truncated or garbled line (orchestrator killed mid-append, manual
+    tampering) is skipped with a warning and the journal is rewritten
+    atomically without it — the same discipline as
+    :meth:`ResultStore.get`. Missing or unreadable journal → empty list.
+    """
+    path = Path(root) / QUARANTINE_FILE
+    try:
+        raw_lines = path.read_text().splitlines()
+    except (FileNotFoundError, OSError):
+        return []
+    records: list[dict] = []
+    kept: list[str] = []
+    dropped = 0
+    for line in raw_lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            dropped += 1
+            continue
+        if not isinstance(record, dict):
+            dropped += 1
+            continue
+        records.append(record)
+        kept.append(line)
+    if dropped:
+        logger.warning(
+            "quarantine journal %s: skipped %d corrupt line(s) and rewrote "
+            "the journal without them",
+            path,
+            dropped,
+        )
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                for line in kept:
+                    fh.write(line + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+    return records

@@ -37,6 +37,9 @@ class SimulationResult:
     metrics: MetricsCollector
     cluster: Cluster
     final_time: float
+    #: The fault runtime when the run was fault-injected, else ``None``
+    #: (exposes availability / broker-fallback tallies to reporters).
+    faults: object | None = None
 
     @property
     def total_energy_kwh(self) -> float:
@@ -114,7 +117,12 @@ class ClusterEngine:
         result = self._federation.run(
             [jobs], max_jobs=max_jobs, max_events=max_events
         )
-        return SimulationResult(self.metrics, self.cluster, result.final_time)
+        return SimulationResult(
+            self.metrics,
+            self.cluster,
+            result.final_time,
+            faults=self._federation.faults,
+        )
 
 
 def build_simulation(
@@ -129,13 +137,17 @@ def build_simulation(
     keep_jobs: bool = False,
     capacity_events: Iterable[CapacityEvent] = (),
     tariff: TariffModel | None = None,
+    faults=None,
 ) -> ClusterEngine:
     """Convenience constructor for the common engine wiring.
 
     ``power_model`` may be a per-server sequence (heterogeneous fleet);
     ``capacity_events`` are pre-scheduled churn events (failures or
     maintenance drains) that fire during the run; ``tariff`` attaches a
-    price/carbon signal so the metrics also report cost and CO₂.
+    price/carbon signal so the metrics also report cost and CO₂;
+    ``faults`` is an optional
+    :class:`~repro.faults.plan.SiteFaultPlan` installing seeded
+    unplanned-failure injection (crashes, job failures, stragglers).
     """
     events = EventQueue()
     cluster = Cluster(
@@ -151,4 +163,9 @@ def build_simulation(
     metrics = MetricsCollector(
         record_every=record_every, keep_jobs=keep_jobs, tariff=tariff
     )
-    return ClusterEngine(cluster, broker, metrics)
+    engine = ClusterEngine(cluster, broker, metrics)
+    if faults is not None:
+        from repro.faults.inject import install_faults
+
+        install_faults(engine._federation, [faults])
+    return engine

@@ -198,6 +198,9 @@ class FederationEngine:
         for index, site in enumerate(self.sites):
             for server in site.cluster.servers:
                 server.on_finish = self._finish_handler(index)
+        #: Set by :func:`repro.faults.inject.install_faults`; ``None``
+        #: (the default) keeps the fault-free fast path untouched.
+        self.faults = None
         # Per-event tallies and span aggregates of the instrumented
         # paths, flushed into the active collector once per run — a
         # counter-dict or span-stat update per event would be a
@@ -287,6 +290,13 @@ class FederationEngine:
         return handle
 
     def _handle_arrival(self, job: Job, home: int, now: float) -> None:
+        if self.faults is not None:
+            # The fault runtime owns routing: it degrades around downed
+            # servers/sites and contains broker exceptions. Faulted runs
+            # keep loop-level telemetry but skip the per-arrival
+            # instrumented spans (route/settle/dispatch).
+            self.faults.handle_arrival(job, home, now)
+            return
         tel = obs.active()
         if tel is not None:
             self._handle_arrival_instrumented(tel, job, home, now)

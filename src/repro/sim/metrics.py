@@ -86,6 +86,8 @@ class MetricsCollector:
 
     n_arrived: int = 0
     n_completed: int = 0
+    n_failed: int = 0
+    n_retries: int = 0
     acc_latency: float = 0.0
     acc_wait: float = 0.0
     max_latency: float = 0.0
@@ -117,6 +119,18 @@ class MetricsCollector:
 
     def on_arrival(self, job: Job, now: float) -> None:
         self.n_arrived += 1
+
+    def on_retry(self, job: Job, now: float) -> None:
+        """A killed or failed job re-entered the queue (fault path)."""
+        self.n_retries += 1
+
+    def on_failure(self, job: Job, now: float) -> None:
+        """A job exhausted its retry budget and was dropped (fault path).
+
+        Only the counter moves — failures do not advance ``final_time``
+        or the series, which track completions.
+        """
+        self.n_failed += 1
 
     def on_completion(self, job: Job, now: float, cluster_energy: float) -> None:
         """Record a completed job; ``cluster_energy`` is synced total joules."""
@@ -166,6 +180,14 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     # Summary statistics (Table I quantities)
     # ------------------------------------------------------------------
+
+    @property
+    def goodput(self) -> float:
+        """Completed share of terminally-resolved jobs, in [0, 1]."""
+        resolved = self.n_completed + self.n_failed
+        if resolved == 0:
+            return 1.0
+        return self.n_completed / resolved
 
     @property
     def mean_latency(self) -> float:

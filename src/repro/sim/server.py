@@ -131,6 +131,10 @@ class Server:
         self._transition_event: ScheduledEvent | None = None
         #: Set by the engine: called as ``on_finish(job, now)`` at completion.
         self.on_finish: Callable[[Job, float], None] | None = None
+        #: Set by the fault runtime: a per-site ``SiteFaultState`` that
+        #: owns job-finish scheduling (stragglers, failures) when faults
+        #: are injected. ``None`` keeps the fault-free fast path.
+        self.faults = None
         self._refresh()
 
     # ------------------------------------------------------------------
@@ -261,10 +265,14 @@ class Server:
         ``fraction`` is the usable share of every resource dimension:
         0 models a failed or fully drained server, values in (0, 1) a
         partial drain, and 1 restores full capacity. Running jobs are
-        never killed — a drain is graceful: ``used`` may exceed the new
-        capacity until jobs finish, and queued work waits (head-of-line)
-        until capacity returns. Restoring capacity starts any queued
-        jobs that now fit.
+        never killed — a drain is graceful: even when the new capacity
+        drops below a running job's demand, the job runs to completion
+        and ``used`` may exceed capacity until it finishes; queued work
+        waits (head-of-line) until capacity returns. Restoring capacity
+        starts any queued jobs that now fit. Callers that need forced
+        eviction (an unplanned crash rather than a planned drain) use
+        :meth:`kill_job`, which releases resources immediately and
+        leaves re-enqueueing to the fault runtime.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"capacity fraction must be in [0, 1], got {fraction}")
@@ -348,12 +356,20 @@ class Server:
             self.used += demand
             job.start_time = now
             self.running[job.job_id] = job
-            finish_time = now + job.duration
-            self.events.schedule(
-                finish_time,
-                lambda t, job=job: self._on_job_finish(job, t),
-                kind=f"finish:{job.job_id}",
-            )
+            if self.faults is None:
+                finish_time = now + job.duration
+                self.events.schedule(
+                    finish_time,
+                    lambda t, job=job: self._on_job_finish(job, t),
+                    kind=f"finish:{job.job_id}",
+                )
+            else:
+                # The fault runtime owns the finish event: it may
+                # stretch the duration (straggler) or turn the finish
+                # into a failure, and it keeps a handle so a crash can
+                # cancel it. With a null spec it schedules the identical
+                # event (same time, same kind, same effects).
+                self.faults.start_job(self, job, now)
         self._refresh()
 
     def _on_job_finish(self, job: Job, now: float) -> None:
@@ -368,6 +384,33 @@ class Server:
             self.on_finish(job, now)
         if not self.running and not self.pending and self.state is PowerState.ACTIVE:
             self._enter_idle(now)
+
+    def kill_job(self, job: Job, now: float) -> None:
+        """Forcibly evict a running job (crash / failed-at-finish path).
+
+        The mirror of :meth:`_on_job_finish` without the completion:
+        resources are released and the queue is re-examined, but the job
+        is not counted completed, no finish time is stamped, and the
+        engine's ``on_finish`` hook does not fire. The caller decides
+        the job's fate (typically re-enqueue through the fault runtime's
+        retry path). The caller must also cancel or supersede any finish
+        event still scheduled for the job.
+        """
+        self.account(now)
+        del self.running[job.job_id]
+        demand = np.asarray(job.resources[: self.num_resources])
+        np.maximum(self.used - demand, 0.0, out=self.used)
+        self._try_start_jobs(now)
+        if not self.running and not self.pending and self.state is PowerState.ACTIVE:
+            self._enter_idle(now)
+
+    def take_pending(self, now: float) -> list[Job]:
+        """Drain the waiting queue (crash path) and return the removed jobs."""
+        self.account(now)
+        jobs = list(self.pending)
+        self.pending.clear()
+        self._refresh()
+        return jobs
 
     # ------------------------------------------------------------------
     # Power management

@@ -46,6 +46,10 @@ class TestIncrementalJournal:
             n_jobs=60,
             workers=1,
             store=store,
+            # Fail-fast, no retries: this test is about the journal
+            # surviving a crash, not the quarantine machinery.
+            on_error="raise",
+            cell_retries=0,
         )
         real = orchestrator.run_cell
         calls = []

@@ -2,7 +2,14 @@
 
 import json
 
-from repro.scenarios.store import ResultStore, canonical_json, content_key
+from repro.scenarios.store import (
+    QUARANTINE_FILE,
+    ResultStore,
+    append_quarantine,
+    canonical_json,
+    content_key,
+    read_quarantine,
+)
 
 
 class TestContentKey:
@@ -91,3 +98,44 @@ class TestResultStore:
         with path.open() as fh:
             record = json.load(fh)
         assert record["schema"] >= 1
+
+
+class TestQuarantineJournal:
+    def test_append_and_read_round_trip(self, tmp_path):
+        records = [
+            {"key": "abc", "system": "drl-only", "error": "boom"},
+            {"key": "def", "system": "packing", "error": "timeout"},
+        ]
+        for record in records:
+            append_quarantine(tmp_path, record)
+        assert read_quarantine(tmp_path) == records
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert read_quarantine(tmp_path) == []
+
+    def test_corrupt_trailing_line_is_skipped_and_healed(self, tmp_path):
+        """Regression: a SIGKILL mid-append leaves a torn last line; reads
+        must skip it and rewrite the journal so it never trips again."""
+        good = {"key": "abc", "system": "drl-only", "error": "boom"}
+        append_quarantine(tmp_path, good)
+        path = tmp_path / QUARANTINE_FILE
+        with path.open("a") as fh:
+            fh.write('{"key": "def", "sys')  # torn mid-write
+        assert read_quarantine(tmp_path) == [good]
+        # The journal was atomically rewritten without the torn line.
+        assert path.read_text() == json.dumps(
+            good, sort_keys=True, separators=(",", ":")
+        ) + "\n"
+        assert read_quarantine(tmp_path) == [good]
+
+    def test_non_dict_lines_are_dropped(self, tmp_path):
+        good = {"key": "abc"}
+        path = tmp_path / QUARANTINE_FILE
+        path.write_text('["a", "list"]\n' + json.dumps(good) + "\n\n")
+        assert read_quarantine(tmp_path) == [good]
+
+    def test_wholly_corrupt_journal_reads_empty(self, tmp_path):
+        path = tmp_path / QUARANTINE_FILE
+        path.write_text("not json at all")
+        assert read_quarantine(tmp_path) == []
+        assert path.read_text() == ""

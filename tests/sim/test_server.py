@@ -341,3 +341,62 @@ class TestValidation:
         assert server.fits(job(2, 0.0, 10.0, 0.4))
         assert not server.fits(job(3, 0.0, 10.0, 0.5))
         assert np.allclose(server.remaining(), [0.4, 0.9, 0.9])
+
+
+class TestCapacityVsKill:
+    """Graceful drains never kill work; ``kill_job`` is the forced path."""
+
+    def test_capacity_drop_below_running_demand_never_kills(self):
+        # A 0.6-CPU job is running; capacity drops to 0.3 (below the
+        # job's demand). The drain is graceful: the job runs to its
+        # normal completion and ``used`` may exceed capacity meanwhile.
+        server, events = make_server()
+        j1 = job(1, 0.0, 100.0, 0.6)
+        events.schedule(0.0, lambda t: server.assign(j1, t))
+        events.schedule(10.0, lambda t: server.set_capacity(t, 0.3))
+        events.run_until_empty()
+        assert server.jobs_completed == 1
+        assert j1.finish_time == pytest.approx(100.0)
+
+    def test_drained_capacity_holds_queue_until_restore(self):
+        server, events = make_server()
+        j1 = job(1, 0.0, 50.0, 0.5)
+        j2 = job(2, 60.0, 50.0, 0.5)  # arrives while drained
+        events.schedule(0.0, lambda t: server.assign(j1, t))
+        events.schedule(55.0, lambda t: server.set_capacity(t, 0.0))
+        events.schedule(60.0, lambda t: server.assign(j2, t))
+        events.schedule(200.0, lambda t: server.set_capacity(t, 1.0))
+        events.run_until_empty()
+        assert j1.finish_time == pytest.approx(50.0)
+        assert j2.start_time == pytest.approx(200.0)  # waited for restore
+
+    def test_kill_job_releases_resources_and_starts_queue(self):
+        # Forced eviction: the victim's resources come back immediately
+        # and the queued job starts — unlike the graceful-drain path.
+        # kill_job's contract says the caller cancels/supersedes the
+        # victim's finish event (the fault runtime owns the handles), so
+        # this test stops the drain before the stale finish at t=1000.
+        server, events = make_server()
+        j1 = job(1, 0.0, 1000.0, 0.8)
+        j2 = job(2, 1.0, 10.0, 0.5)  # blocked behind j1
+        events.schedule(0.0, lambda t: server.assign(j1, t))
+        events.schedule(1.0, lambda t: server.assign(j2, t))
+        events.schedule(5.0, lambda t: server.kill_job(j1, t))
+        events.run_until_empty(max_events=4)  # ...through j2's finish at 15
+        assert j2.start_time == pytest.approx(5.0)
+        assert j2.finish_time == pytest.approx(15.0)
+        assert server.jobs_completed == 1  # the kill was not a completion
+        assert server.running.get(1) is None
+        assert np.all(server.used <= 1e-9)
+
+    def test_take_pending_drains_queue(self):
+        server, events = make_server()
+        j1 = job(1, 0.0, 1000.0, 0.9)
+        j2 = job(2, 1.0, 10.0, 0.5)
+        j3 = job(3, 2.0, 10.0, 0.5)
+        server.assign(j1, 0.0)
+        server.assign(j2, 1.0)
+        server.assign(j3, 2.0)
+        drained = server.take_pending(3.0)
+        assert [j.job_id for j in drained] == [2, 3]
+        assert not server.pending

@@ -112,7 +112,7 @@ class TestExecution:
         assert "paper-default" in captured
         assert "energy" in captured
 
-    def test_scenario_run_journals_schema_v5_result(self, capsys, tmp_path):
+    def test_scenario_run_journals_schema_v6_result(self, capsys, tmp_path):
         import json
 
         from repro.scenarios.store import SCHEMA_VERSION
@@ -124,9 +124,11 @@ class TestExecution:
         records = list(tmp_path.glob("*/*.json"))
         assert len(records) == 1
         record = json.loads(records[0].read_text())
-        assert record["schema"] == SCHEMA_VERSION == 5
+        assert record["schema"] == SCHEMA_VERSION == 6
         assert "cost_series" in record["result"]
         assert "co2_series" in record["result"]
+        assert record["result"]["failed_jobs"] == 0
+        assert record["result"]["goodput"] == 1.0
 
     def test_scenario_run_journal_is_a_sweep_cache_hit(self, capsys, tmp_path):
         # A journaled `scenario run` cell must come back cached when a
