@@ -54,14 +54,18 @@ def test_bench_ablation_architecture(benchmark, traces, out_dir, bench_seed):
         "drl-only", proto, ImmediateSleepPolicy(), config, initially_on=False
     )
     e, lat = _evaluate(hier_system, eval_jobs)
-    rows.append(["fig6-hierarchical", proto.qnet.num_parameters(), f"{e:.2f}", f"{lat:.0f}"])
+    rows.append(
+        ["fig6-hierarchical", proto.qnet.num_parameters(), f"{e:.2f}", f"{lat:.0f}"]
+    )
 
     import numpy as np
 
     flat_broker = DRLGlobalBroker(
         _make_encoder(config),
         config.global_tier,
-        qnetwork=FlatQNetwork(_make_encoder(config), rng=np.random.default_rng(bench_seed)),
+        qnetwork=FlatQNetwork(
+            _make_encoder(config), rng=np.random.default_rng(bench_seed)
+        ),
         rng=np.random.default_rng(bench_seed),
     )
     flat_system = HierarchicalSystem(
@@ -71,9 +75,13 @@ def test_bench_ablation_architecture(benchmark, traces, out_dir, bench_seed):
         flat_system.run([j.copy() for j in trace])
         flat_system.run([j.copy() for j in trace])
     e, lat = _evaluate(flat_system, eval_jobs)
-    rows.append(["flat-mlp", flat_broker.qnet.num_parameters(), f"{e:.2f}", f"{lat:.0f}"])
+    rows.append(
+        ["flat-mlp", flat_broker.qnet.num_parameters(), f"{e:.2f}", f"{lat:.0f}"]
+    )
 
-    text = format_table(["architecture", "params", "energy kWh", "mean latency s"], rows)
+    text = format_table(
+        ["architecture", "params", "energy kWh", "mean latency s"], rows
+    )
     save_artifact(out_dir, "ablation_architecture.txt", text)
     benchmark.pedantic(
         lambda: proto.qnet.predict(

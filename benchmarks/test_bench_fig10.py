@@ -75,4 +75,6 @@ def test_w_sweep_spans_the_space(tradeoff_points):
     ours = curve(tradeoff_points, "hierarchical")
     energies = [p.energy_per_job_wh for p in ours]
     latencies = [p.mean_latency for p in ours]
-    assert max(energies) > 1.05 * min(energies) or max(latencies) > 1.05 * min(latencies)
+    assert max(energies) > 1.05 * min(energies) or max(latencies) > 1.05 * min(
+        latencies
+    )

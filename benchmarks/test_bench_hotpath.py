@@ -228,10 +228,14 @@ def test_bench_hotpath(rig, out_dir, bench_seed):
     # Train step (includes replay sampling and target construction).
     train_iters = max(ITERS // 20, 20)
     qnet._bench_opt = qnet.make_optimizer()
-    train_fast = timed(lambda: fast_train_minibatch(qnet, memory, rng), train_iters, reps=3)
+    train_fast = timed(
+        lambda: fast_train_minibatch(qnet, memory, rng), train_iters, reps=3
+    )
     twin = qnet.clone()
     twin._bench_opt = twin.make_optimizer()
-    train_loop = timed(lambda: legacy_train_minibatch(twin, memory, rng), train_iters, reps=3)
+    train_loop = timed(
+        lambda: legacy_train_minibatch(twin, memory, rng), train_iters, reps=3
+    )
     if train_loop < train_fast:
         # Same noise relief as the epoch gate: re-time both, keep mins.
         train_fast = min(
@@ -240,7 +244,11 @@ def test_bench_hotpath(rig, out_dir, bench_seed):
         )
         train_loop = min(
             train_loop,
-            timed(lambda: legacy_train_minibatch(twin, memory, rng), train_iters, reps=3),
+            timed(
+                lambda: legacy_train_minibatch(twin, memory, rng),
+                train_iters,
+                reps=3,
+            ),
         )
 
     # End-to-end: jobs/sec of a DRL-brokered simulation (fast path only —

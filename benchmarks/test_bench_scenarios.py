@@ -136,7 +136,10 @@ def test_bench_sharded_cell(out_dir, bench_seed):
             f"sharded:   {t_sharded:.2f} s ({sharded['workers_used']} workers)",
             f"speedup:   {speedup:.2f}x",
             f"power delta: "
-            f"{abs(sharded['average_power_w'] - unsharded['average_power_w']) / unsharded['average_power_w']:.1%}",
+            "{:.1%}".format(
+                abs(sharded["average_power_w"] - unsharded["average_power_w"])
+                / unsharded["average_power_w"]
+            ),
         ]
     )
     save_artifact(out_dir, "bench_sharded_cell.txt", text)

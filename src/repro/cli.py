@@ -20,6 +20,8 @@ Usage::
                                    [--cell-retries N] [--cell-timeout S]
                                    [--strict]
     python -m repro obs report FILE [--top N]
+    python -m repro lint [PATHS...] [--json] [--select RULE,...]
+                         [--list-rules]
 
 Global flags (before the subcommand): ``--log-level LEVEL`` or ``-v`` /
 ``-vv`` route the package's stdlib logging to stderr at the chosen
@@ -44,7 +46,9 @@ recorded Google task-events files through any scenario; unsharded runs
 journal their result exactly like a sweep cell would. ``--profile``
 captures run telemetry (per-phase self-time breakdown, counters, rates),
 writes it as ``telemetry.json`` under the cache dir, and ``obs report``
-renders any such artifact.
+renders any such artifact. ``lint`` runs the AST-based determinism &
+invariant auditor (:mod:`repro.lint`) over the given paths (default
+``src/``): exit 0 clean, 1 on findings, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -99,7 +103,11 @@ def _cmd_figure(args: argparse.Namespace, which: str) -> int:
 
 
 def _cmd_fig10(args: argparse.Namespace) -> int:
-    from repro.harness.tradeoff import frontier_savings, render_tradeoff_csv, run_tradeoff
+    from repro.harness.tradeoff import (
+        frontier_savings,
+        render_tradeoff_csv,
+        run_tradeoff,
+    )
 
     points = run_tradeoff(n_jobs=args.jobs, seed=args.seed)
     savings = frontier_savings(points, "hierarchical", "fixed")
@@ -423,6 +431,28 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import LintUsageError, iter_rules, run_lint
+    from repro.lint.suppress import SUPPRESSION_RULE, SYNTAX
+
+    if args.list_rules:
+        from repro.harness.report import format_table
+
+        rows = [[SUPPRESSION_RULE, f"suppression hygiene ({SYNTAX})"]]
+        rows += [[rule.id, rule.summary] for rule in iter_rules()]
+        _emit(format_table(["Rule", "Invariant"], rows), args.out)
+        return 0
+    paths = args.paths if args.paths else [Path("src")]
+    select = _split_csv(args.select) if args.select else None
+    try:
+        report = run_lint(paths, select=select)
+    except LintUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit(report.render_json() if args.json else report.render_text(), args.out)
+    return report.exit_code
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import load_snapshot, render_report
 
@@ -577,6 +607,21 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--top", type=int, default=None, metavar="N",
                             help="show only the top N spans by self time")
     obs_report.add_argument("--out", type=Path, default=None)
+
+    p_lint = sub.add_parser(
+        "lint", help="AST-based determinism & invariant auditor"
+    )
+    p_lint.add_argument("paths", nargs="*", type=Path, metavar="PATH",
+                        help="files or directories to audit (default: src/)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the machine-readable JSON report")
+    p_lint.add_argument("--select", default=None, metavar="RULE,...",
+                        help="comma-separated rule ids to run "
+                             "(default: all; REP000 is always implied)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list the rule ids and the invariant each guards")
+    p_lint.add_argument("--out", type=Path, default=None,
+                        help="write the report to this file instead of stdout")
     return parser
 
 
@@ -603,6 +648,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenario(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,714 @@
+"""The repo-specific rules: each guards one determinism invariant.
+
+Every rule is a small AST pass registered in :data:`RULES`. File rules
+implement :meth:`Rule.check` over one parsed module; project rules
+(REP004) implement :meth:`ProjectRule.check_project` over the whole
+scanned set, because the invariant they guard spans modules.
+
+The rule ids are stable and documented in the README; suppressions name
+them (``# repro: allow[REP002] — reason``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.model import Finding, SourceFile
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """One invariant, checked per file."""
+
+    id: str = ""
+    summary: str = ""
+
+    def check(
+        self, source: SourceFile, config: LintConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            str(source.path),
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            self.id,
+            message,
+        )
+
+
+class ProjectRule(Rule):
+    """An invariant spanning modules; sees the whole scanned set."""
+
+    def check(self, source: SourceFile, config: LintConfig) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, sources: list[SourceFile], config: LintConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# REP001 — seed hygiene
+# ----------------------------------------------------------------------
+
+#: The modern, seedable numpy.random surface; everything else on
+#: ``np.random`` is legacy global state.
+_RNG_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+def _bind_finding(rule: Rule, source: SourceFile):
+    def finding(node: ast.AST, message: str) -> Finding:
+        return rule.finding(source, node, message)
+
+    return finding
+
+
+class SeedHygiene(Rule):
+    """Simulation randomness must flow from seeded generators.
+
+    The stdlib ``random`` module and the legacy ``np.random.*`` global
+    state (``seed``/``rand``/``randint``/...) are process-wide: two
+    cells sharing a worker would perturb each other, and content-keyed
+    results would stop being a function of their request. Draw from a
+    ``Generator`` handed down from ``SeedSequence.spawn`` or a seeded
+    ``np.random.default_rng`` instead.
+    """
+
+    id = "REP001"
+    summary = "no random module / legacy np.random global state in sim code"
+
+    def check(self, source: SourceFile, config: LintConfig) -> Iterator[Finding]:
+        finding = _bind_finding(self, source)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.name
+                    if name == "random" or name.startswith("random."):
+                        yield finding(
+                            node,
+                            f"import of the stdlib {name!r} module: its "
+                            "global state breaks run determinism; draw from "
+                            "a seeded np.random.Generator instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "random" or module.startswith("random."):
+                    yield finding(
+                        node,
+                        "import from the stdlib 'random' module: draw from "
+                        "a seeded np.random.Generator instead",
+                    )
+                elif module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in _RNG_ALLOWED:
+                            yield finding(
+                                node,
+                                f"'{alias.name}' is numpy legacy "
+                                "global-state randomness; rngs must flow "
+                                "from SeedSequence.spawn / seeded "
+                                "default_rng",
+                            )
+            elif isinstance(node, ast.Attribute):
+                chain = _dotted(node)
+                if (
+                    chain is not None
+                    and chain.count(".") == 2
+                    and chain.startswith(("np.random.", "numpy.random."))
+                ):
+                    leaf = chain.rsplit(".", 1)[1]
+                    if leaf not in _RNG_ALLOWED:
+                        yield finding(
+                            node,
+                            f"{chain} touches numpy's legacy global rng "
+                            "state; rngs must flow from SeedSequence.spawn "
+                            "/ seeded default_rng",
+                        )
+
+
+# ----------------------------------------------------------------------
+# REP002 — wall-clock ban
+# ----------------------------------------------------------------------
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+_TIME_NAMES = frozenset(
+    name.split(".", 1)[1] for name in _WALL_CLOCK if name.startswith("time.")
+)
+
+
+class WallClockBan(Rule):
+    """Simulation and decision code must not read the wall clock.
+
+    Results are a function of the request's content key; a wall-clock
+    read smuggles in machine state the key cannot see. The simulated
+    clock is the event queue's; the only sanctioned real-time readers
+    are the telemetry subsystem and the orchestrator's retry/timeout
+    machinery (both exempted by scope).
+    """
+
+    id = "REP002"
+    summary = "no wall-clock reads in simulation/decision code"
+
+    def check(self, source: SourceFile, config: LintConfig) -> Iterator[Finding]:
+        finding = _bind_finding(self, source)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom):
+                if (node.module or "") == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_NAMES:
+                            yield finding(
+                                node,
+                                f"'from time import {alias.name}': wall-clock "
+                                "reads are banned here; simulated time comes "
+                                "from the event queue",
+                            )
+            elif isinstance(node, ast.Attribute):
+                chain = _dotted(node)
+                if chain is None:
+                    continue
+                for banned in _WALL_CLOCK:
+                    if chain == banned or chain.endswith("." + banned):
+                        yield finding(
+                            node,
+                            f"{chain} reads the wall clock; results must be "
+                            "a pure function of the content key (obs/ and "
+                            "the orchestrator are the sanctioned readers)",
+                        )
+                        break
+
+
+# ----------------------------------------------------------------------
+# REP003 — frozen-spec mutation
+# ----------------------------------------------------------------------
+
+
+class FrozenSpecMutation(Rule):
+    """``object.__setattr__`` only belongs in ``__post_init__``.
+
+    Frozen dataclasses are the immutability backbone of content-keyed
+    caching; normalizing fields during ``__post_init__`` is the one
+    sanctioned escape hatch. Anywhere else it silently mutates a spec
+    that may already have been content-keyed.
+    """
+
+    id = "REP003"
+    summary = "object.__setattr__ on frozen specs only inside __post_init__"
+
+    def check(self, source: SourceFile, config: LintConfig) -> Iterator[Finding]:
+        finding = _bind_finding(self, source)
+        stack: list[str] = []
+        hits: list[ast.Call] = []
+
+        class Visitor(ast.NodeVisitor):
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                stack.append(node.name)
+                self.generic_visit(node)
+                stack.pop()
+
+            visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+            def visit_Call(self, node: ast.Call) -> None:
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "__setattr__"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "object"
+                    and "__post_init__" not in stack
+                ):
+                    hits.append(node)
+                self.generic_visit(node)
+
+        Visitor().visit(source.tree)
+        for hit in hits:
+            yield finding(
+                hit,
+                "object.__setattr__ outside __post_init__ mutates a frozen "
+                "spec after it may have been content-keyed; construct a new "
+                "spec (dataclasses.replace) instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# REP004 — content-key coverage (cross-module)
+# ----------------------------------------------------------------------
+
+
+def _decorator_frozen(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        if isinstance(dec, ast.Call):
+            name = _dotted(dec.func)
+            if name in ("dataclass", "dataclasses.dataclass"):
+                for kw in dec.keywords:
+                    if (
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+    return False
+
+
+class _SpecClass:
+    def __init__(self, node: ast.ClassDef, source: SourceFile) -> None:
+        self.node = node
+        self.source = source
+        self.frozen = _decorator_frozen(node)
+        self.fields: list[tuple[str, str]] = []
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                annotation = ast.unparse(stmt.annotation)
+                if "ClassVar" in annotation:
+                    continue
+                self.fields.append((stmt.target.id, annotation))
+
+
+class ContentKeyCoverage(ProjectRule):
+    """Every spec field must be reachable from the content key.
+
+    The bug class this guards: a new knob lands on a spec dataclass but
+    never reaches the request serialization, so two different
+    experiments share a cache slot and the store silently serves stale
+    results. Three structural checks make that impossible:
+
+    * every spec class is a frozen dataclass *reachable* from the root
+      class's field graph (so ``asdict`` serializes it),
+    * the serializer is built on ``asdict(self)`` and only ever pops
+      the declared cosmetic fields (labels), and
+    * the training-key reduction only drops the declared
+      evaluation-only fields on top of those.
+    """
+
+    id = "REP004"
+    summary = "every spec field reachable from the content-key serialization"
+
+    def check_project(
+        self, sources: list[SourceFile], config: LintConfig
+    ) -> Iterator[Finding]:
+        ck = config.content_key
+        by_rel = {source.rel: source for source in sources}
+        spec_sources = [
+            by_rel[rel] for rel in ck.spec_modules if rel in by_rel
+        ]
+        if len(spec_sources) == len(ck.spec_modules):
+            yield from self._check_specs(spec_sources, config)
+        training = by_rel.get(ck.training_module)
+        if training is not None:
+            yield from self._check_training(training, config)
+
+    # -- spec graph + serializer ---------------------------------------
+
+    def _check_specs(
+        self, spec_sources: list[SourceFile], config: LintConfig
+    ) -> Iterator[Finding]:
+        ck = config.content_key
+        classes: dict[str, _SpecClass] = {}
+        for source in spec_sources:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes[node.name] = _SpecClass(node, source)
+
+        root = classes.get(ck.root_class)
+        for name in ck.required_classes:
+            cls = classes.get(name)
+            if cls is None:
+                anchor = spec_sources[0]
+                yield Finding(
+                    str(anchor.path),
+                    1,
+                    0,
+                    self.id,
+                    f"required spec class {name!r} not found in "
+                    f"{', '.join(ck.spec_modules)}",
+                )
+            elif not cls.frozen:
+                yield Finding(
+                    str(cls.source.path),
+                    cls.node.lineno,
+                    cls.node.col_offset,
+                    self.id,
+                    f"spec class {name} must be @dataclass(frozen=True): "
+                    "mutable specs can drift after content-keying",
+                )
+        if root is None:
+            return
+
+        # Reachability over field annotations: an edge A -> B whenever a
+        # field annotation of A names class B.
+        word = {
+            name: re.compile(rf"\b{re.escape(name)}\b") for name in classes
+        }
+        reachable = {ck.root_class}
+        queue = [ck.root_class]
+        while queue:
+            current = classes.get(queue.pop())
+            if current is None:
+                continue
+            for _, annotation in current.fields:
+                for name, pattern in word.items():
+                    if name not in reachable and pattern.search(annotation):
+                        reachable.add(name)
+                        queue.append(name)
+        for name in ck.required_classes:
+            cls = classes.get(name)
+            if cls is not None and name not in reachable:
+                yield Finding(
+                    str(cls.source.path),
+                    cls.node.lineno,
+                    cls.node.col_offset,
+                    self.id,
+                    f"spec class {name} is not reachable from "
+                    f"{ck.root_class}'s field graph: its fields never enter "
+                    "the content key",
+                )
+        # Any *other* frozen dataclass defined beside the specs that the
+        # root cannot reach is the same bug waiting to happen.
+        for name, cls in classes.items():
+            if (
+                cls.frozen
+                and cls.fields
+                and name not in reachable
+                and name not in ck.required_classes
+            ):
+                yield Finding(
+                    str(cls.source.path),
+                    cls.node.lineno,
+                    cls.node.col_offset,
+                    self.id,
+                    f"frozen spec dataclass {name} is not reachable from "
+                    f"{ck.root_class}; wire it into the spec graph or move "
+                    "it out of the spec modules",
+                )
+
+        yield from self._check_serializer(root, config)
+
+    def _check_serializer(
+        self, root: _SpecClass, config: LintConfig
+    ) -> Iterator[Finding]:
+        ck = config.content_key
+        serializer = None
+        for stmt in root.node.body:
+            if (
+                isinstance(stmt, ast.FunctionDef)
+                and stmt.name == ck.serializer
+            ):
+                serializer = stmt
+        if serializer is None:
+            yield Finding(
+                str(root.source.path),
+                root.node.lineno,
+                root.node.col_offset,
+                self.id,
+                f"{ck.root_class} has no {ck.serializer}() serializer; the "
+                "content key has no entry point to audit",
+            )
+            return
+        calls_asdict = any(
+            isinstance(node, ast.Call)
+            and _dotted(node.func) in ("asdict", "dataclasses.asdict")
+            for node in ast.walk(serializer)
+        )
+        if not calls_asdict:
+            yield Finding(
+                str(root.source.path),
+                serializer.lineno,
+                serializer.col_offset,
+                self.id,
+                f"{ck.serializer}() must build its payload with "
+                "dataclasses.asdict(self): hand-rolled payloads silently "
+                "omit new fields from the content key",
+            )
+        allowed = set(ck.cosmetic_fields)
+        yield from self._check_pops(
+            serializer,
+            root.source,
+            allowed,
+            context=f"{ck.root_class}.{ck.serializer}",
+            hint="only cosmetic label fields may leave the content key",
+        )
+
+    def _check_training(
+        self, training: SourceFile, config: LintConfig
+    ) -> Iterator[Finding]:
+        ck = config.content_key
+        function = None
+        for node in training.tree.body:
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name == ck.training_function
+            ):
+                function = node
+        if function is None:
+            yield Finding(
+                str(training.path),
+                1,
+                0,
+                self.id,
+                f"{ck.training_function}() not found in "
+                f"{ck.training_module}: the training key has no entry point "
+                "to audit",
+            )
+            return
+        allowed = set(ck.cosmetic_fields) | set(ck.training_excluded)
+        yield from self._check_pops(
+            function,
+            training,
+            allowed,
+            context=ck.training_function,
+            hint="training keys may drop only declared evaluation-only "
+            "fields",
+        )
+
+    def _check_pops(
+        self,
+        function: ast.FunctionDef,
+        source: SourceFile,
+        allowed: set[str],
+        context: str,
+        hint: str,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(function):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "pop"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                name = node.args[0].value
+                if name not in allowed:
+                    yield Finding(
+                        str(source.path),
+                        node.lineno,
+                        node.col_offset,
+                        self.id,
+                        f"{context} pops field {name!r} out of the key; "
+                        f"{hint} ({', '.join(sorted(allowed))})",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REP005 — schema-literal drift
+# ----------------------------------------------------------------------
+
+_SCHEMA_KEYS = frozenset({"schema", "schema_version"})
+
+
+class SchemaLiteralDrift(Rule):
+    """Schema versions live in the canonical constants, nowhere else.
+
+    A hardcoded schema integer (``"schema": 6``, ``record["schema"] ==
+    6``, a shadow ``SCHEMA_VERSION = 6``) keeps working until the next
+    bump, then silently serves or writes stale-schema records. Import
+    the constant from its defining module instead.
+    """
+
+    id = "REP005"
+    summary = "no hardcoded schema-version integers outside the constants"
+
+    def check(self, source: SourceFile, config: LintConfig) -> Iterator[Finding]:
+        finding = _bind_finding(self, source)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and key.value.lower() in _SCHEMA_KEYS
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, int)
+                        and not isinstance(value.value, bool)
+                    ):
+                        yield finding(
+                            value,
+                            f'literal schema version {value.value} under key '
+                            f'"{key.value}"; import the canonical constant '
+                            "instead of hardcoding the integer",
+                        )
+            elif isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                ints = [
+                    s
+                    for s in sides
+                    if isinstance(s, ast.Constant)
+                    and isinstance(s.value, int)
+                    and not isinstance(s.value, bool)
+                ]
+                mentions = any(
+                    not isinstance(s, ast.Constant)
+                    and "schema" in ast.unparse(s).lower()
+                    for s in sides
+                )
+                if ints and mentions:
+                    yield finding(
+                        ints[0],
+                        f"schema version compared against the literal "
+                        f"{ints[0].value}; compare against the canonical "
+                        "constant so bumps cannot drift",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = node.value
+                if not (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, int)
+                    and not isinstance(value.value, bool)
+                ):
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and "schema" in target.id.lower()
+                    ):
+                        yield finding(
+                            node,
+                            f"shadow schema constant {target.id} = "
+                            f"{value.value}; schema versions are defined "
+                            "once, in their canonical module",
+                        )
+
+
+# ----------------------------------------------------------------------
+# REP006 — unordered-set iteration
+# ----------------------------------------------------------------------
+
+
+def _set_bound_names(tree: ast.Module) -> frozenset[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        value = None
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+            annotation = ast.unparse(node.annotation).lower()
+            if isinstance(target, ast.Name) and (
+                annotation.startswith("set")
+                or annotation.startswith("frozenset")
+            ):
+                names.add(target.id)
+        if (
+            target is not None
+            and isinstance(target, ast.Name)
+            and _is_set_expr(value, frozenset())
+        ):
+            names.add(target.id)
+    return frozenset(names)
+
+
+def _is_set_expr(node: ast.expr | None, set_names: frozenset[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    return isinstance(node, ast.Name) and node.id in set_names
+
+
+class UnorderedSetIteration(Rule):
+    """No bare iteration over sets in the deterministic hot path.
+
+    Set iteration order depends on insertion history and hash
+    randomization of the values involved; an event loop that walks a
+    set can produce different (all individually "correct") schedules
+    run to run. Iterate ``sorted(the_set)`` — the sort is the explicit
+    order contract.
+    """
+
+    id = "REP006"
+    summary = "no bare set/frozenset iteration in sim/core"
+
+    def check(self, source: SourceFile, config: LintConfig) -> Iterator[Finding]:
+        finding = _bind_finding(self, source)
+        set_names = _set_bound_names(source.tree)
+        message = (
+            "iteration over an unordered set: the order is not a function "
+            "of the content key; iterate sorted(...) instead"
+        )
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.For) and _is_set_expr(
+                node.iter, set_names
+            ):
+                yield finding(node.iter, message)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter, set_names):
+                        yield finding(comp.iter, message)
+
+
+#: Registry, in id order. REP000 (suppression hygiene) is implemented in
+#: :mod:`repro.lint.suppress` and always active alongside these.
+RULES: tuple[Rule, ...] = (
+    SeedHygiene(),
+    WallClockBan(),
+    FrozenSpecMutation(),
+    ContentKeyCoverage(),
+    SchemaLiteralDrift(),
+    UnorderedSetIteration(),
+)
+
+
+def rules_by_id() -> dict[str, Rule]:
+    return {rule.id: rule for rule in RULES}
+
+
+def iter_rules() -> Iterable[Rule]:
+    return RULES

@@ -1,0 +1,147 @@
+"""Per-line suppressions: ``# repro: allow[RULE] — reason``.
+
+A suppression silences matching findings on its own line — and *must*
+carry a justification, because every allow is a vetted exception to an
+invariant the auditor would otherwise enforce. The hygiene of the
+mechanism itself is a rule (:data:`SUPPRESSION_RULE`, REP000): malformed
+comments, unknown rule ids, missing justifications, and stale (unused)
+suppressions are findings, so the allow list can only shrink or stay
+honest.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.model import Finding, SourceFile
+
+#: Pseudo-rule id for suppression hygiene; cannot itself be suppressed.
+SUPPRESSION_RULE = "REP000"
+
+_REPRO_COMMENT_RE = re.compile(r"#\s*repro:\s*(?P<body>.*)$")
+_ALLOW_RE = re.compile(
+    r"allow\[(?P<rules>[A-Za-z0-9,\s]+)\]\s*(?:(?:—|–|--|:)\s*)?"
+    r"(?P<reason>.*)$"
+)
+
+#: The canonical syntax, quoted in diagnostics.
+SYNTAX = "# repro: allow[RULE,...] — justification"
+
+
+@dataclass
+class Suppression:
+    """One valid allow-comment: which rules it silences, and why."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: set[str] = field(default_factory=set)
+
+
+def scan_suppressions(
+    source: SourceFile, known_rules: frozenset[str]
+) -> tuple[dict[int, Suppression], list[Finding]]:
+    """Collect the file's suppressions plus REP000 hygiene findings.
+
+    Only real ``COMMENT`` tokens are scanned (a docstring *describing*
+    the syntax is not a suppression), so the scan tokenizes rather than
+    greps.
+    """
+    suppressions: dict[int, Suppression] = {}
+    findings: list[Finding] = []
+
+    def hygiene(line: int, message: str) -> None:
+        findings.append(
+            Finding(str(source.path), line, 0, SUPPRESSION_RULE, message)
+        )
+
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source.text).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return suppressions, findings  # ast already accepted the file
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        comment = _REPRO_COMMENT_RE.search(tok.string)
+        if comment is None:
+            continue
+        line = tok.start[0]
+        match = _ALLOW_RE.match(comment.group("body").strip())
+        if match is None:
+            hygiene(line, f"malformed repro comment; expected: {SYNTAX}")
+            continue
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        reason = match.group("reason").strip()
+        bad = [r for r in rules if r not in known_rules]
+        if not rules or bad:
+            hygiene(
+                line,
+                f"unknown rule id(s) {', '.join(bad) or '<none>'} in "
+                f"suppression; known: {', '.join(sorted(known_rules))}",
+            )
+            continue
+        if SUPPRESSION_RULE in rules:
+            hygiene(line, f"{SUPPRESSION_RULE} (suppression hygiene) cannot "
+                          "be suppressed")
+            continue
+        if not reason:
+            hygiene(
+                line,
+                f"suppression of {', '.join(rules)} carries no justification; "
+                f"write: {SYNTAX}",
+            )
+            continue
+        suppressions[line] = Suppression(line, rules, reason)
+    return suppressions, findings
+
+
+def apply_suppressions(
+    findings: list[Finding],
+    by_path: dict[str, dict[int, Suppression]],
+) -> list[Finding]:
+    """Drop findings an allow-comment on their line covers; mark it used."""
+    kept: list[Finding] = []
+    for finding in findings:
+        if finding.rule != SUPPRESSION_RULE:
+            suppression = by_path.get(finding.path, {}).get(finding.line)
+            if suppression is not None and finding.rule in suppression.rules:
+                suppression.used.add(finding.rule)
+                continue
+        kept.append(finding)
+    return kept
+
+
+def unused_suppressions(
+    by_path: dict[str, dict[int, Suppression]],
+    selected: frozenset[str],
+) -> list[Finding]:
+    """REP000 findings for allows that silenced nothing.
+
+    Rules outside the selected set are not judged — a ``--select``
+    subset must not flag suppressions for the rules it skipped.
+    """
+    findings: list[Finding] = []
+    for path, suppressions in by_path.items():
+        for suppression in suppressions.values():
+            stale = [
+                r
+                for r in suppression.rules
+                if r in selected and r not in suppression.used
+            ]
+            if stale:
+                findings.append(
+                    Finding(
+                        path,
+                        suppression.line,
+                        0,
+                        SUPPRESSION_RULE,
+                        f"unused suppression of {', '.join(stale)}: nothing "
+                        "on this line violates it; delete the allow",
+                    )
+                )
+    return findings

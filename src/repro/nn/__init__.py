@@ -15,7 +15,15 @@ weight sharing (one autoencoder / one Sub-Q applied to every server group)
 is realized.
 """
 
-from repro.nn.activations import ELU, Identity, ReLU, Sigmoid, Softplus, Tanh, get_activation
+from repro.nn.activations import (
+    ELU,
+    Identity,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    get_activation,
+)
 from repro.nn.autoencoder import Autoencoder
 from repro.nn.initializers import constant, normal, xavier_normal, xavier_uniform, zeros
 from repro.nn.layers import Dense, Module

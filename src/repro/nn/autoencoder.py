@@ -69,14 +69,18 @@ class Autoencoder(Module):
         )
 
     def encode(self, x: np.ndarray) -> np.ndarray:
-        """Map raw group states ``(batch, input_dim)`` to codes ``(batch, code_dim)``."""
+        """Map raw states ``(batch, input_dim)`` to ``(batch, code_dim)`` codes."""
         return self.encoder.predict(x)
 
-    def encode_with_cache(self, x: np.ndarray) -> tuple[np.ndarray, list[dict[str, Any]]]:
+    def encode_with_cache(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, list[dict[str, Any]]]:
         """Like :meth:`encode` but returns the caches needed for backprop."""
         return self.encoder.forward(x)
 
-    def encoder_backward(self, dcode: np.ndarray, caches: list[dict[str, Any]]) -> np.ndarray:
+    def encoder_backward(
+        self, dcode: np.ndarray, caches: list[dict[str, Any]]
+    ) -> np.ndarray:
         """Backprop through the encoder only (used when Q-loss flows into codes)."""
         return self.encoder.backward(dcode, caches)
 

@@ -173,7 +173,10 @@ class Dense(Module):
 
     def share_with(self, other: "Dense") -> None:
         """Make this layer use ``other``'s parameters (weight sharing)."""
-        if (other.in_features, other.out_features) != (self.in_features, self.out_features):
+        if (other.in_features, other.out_features) != (
+            self.in_features,
+            self.out_features,
+        ):
             raise ValueError("cannot share weights between differently-shaped layers")
         self.weight = other.weight
         self.bias = other.bias

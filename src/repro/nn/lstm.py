@@ -73,7 +73,9 @@ class LSTMCell(Module):
         """One time step; returns ``(h, c, cache)``."""
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         if x.shape[1] != self.input_dim:
-            raise ValueError(f"input width {x.shape[1]} != cell input_dim {self.input_dim}")
+            raise ValueError(
+                f"input width {x.shape[1]} != cell input_dim {self.input_dim}"
+            )
         hd = self.hidden_dim
         z = x @ self.w_x.value + h_prev @ self.w_h.value + self.bias.value
         i = _SIGMOID.forward(z[:, :hd])

@@ -46,7 +46,8 @@ class MLP(Module):
             rng = np.random.default_rng(0)
         self.layer_sizes = [int(s) for s in layer_sizes]
         self.layers: list[Dense] = []
-        for i, (fan_in, fan_out) in enumerate(zip(self.layer_sizes, self.layer_sizes[1:])):
+        sizes = self.layer_sizes
+        for i, (fan_in, fan_out) in enumerate(zip(sizes, sizes[1:])):
             is_last = i == len(self.layer_sizes) - 2
             act = output_activation if is_last else hidden_activation
             self.layers.append(

@@ -6,7 +6,11 @@ Model-free, continuous-time Q-learning for semi-Markov decision processes
 memory the global tier's offline/online DRL phases store transitions in.
 """
 
-from repro.rl.policies import DecayingEpsilonGreedy, EpsilonGreedy, epsilon_greedy_choice
+from repro.rl.policies import (
+    DecayingEpsilonGreedy,
+    EpsilonGreedy,
+    epsilon_greedy_choice,
+)
 from repro.rl.replay import ReplayMemory, Transition
 from repro.rl.smdp import SMDPQLearner, smdp_discounted_reward, smdp_target
 

@@ -27,7 +27,9 @@ def epsilon_greedy_choice(
     """
     q_values = np.asarray(q_values, dtype=np.float64)
     if q_values.ndim != 1 or q_values.size == 0:
-        raise ValueError(f"q_values must be a non-empty vector, got shape {q_values.shape}")
+        raise ValueError(
+            f"q_values must be a non-empty vector, got shape {q_values.shape}"
+        )
     if not 0.0 <= epsilon <= 1.0:
         raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
     if rng.uniform() < epsilon:

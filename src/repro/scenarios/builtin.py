@@ -128,7 +128,10 @@ MAINTENANCE_CHURN = register(
 TENANT_MIX = register(
     ScenarioSpec(
         name="tenant-mix",
-        description="High-load mix: diurnal interactive tenant over a bursty batch tenant",
+        description=(
+            "High-load mix: diurnal interactive tenant over a bursty "
+            "batch tenant"
+        ),
         workload=WorkloadSpec(
             classes=(
                 JobClassSpec(
@@ -183,7 +186,10 @@ FIXTURE_TRACE = (
 GOOGLE_REPLAY = register(
     ScenarioSpec(
         name="google-replay",
-        description="Replay Google task-events CSVs (bundled fixture; --trace swaps in real files)",
+        description=(
+            "Replay Google task-events CSVs (bundled fixture; --trace "
+            "swaps in real files)"
+        ),
         workload=WorkloadSpec(
             replay=TraceReplaySpec(paths=(FIXTURE_TRACE,)),
             train_fraction=0.5,
@@ -204,7 +210,10 @@ CARBON_CURVE = (
 CARBON_AWARE_DIURNAL = register(
     ScenarioSpec(
         name="carbon-aware-diurnal",
-        description="Diurnal swing against a daily grid carbon curve (clean nights, dirty evening ramp)",
+        description=(
+            "Diurnal swing against a daily grid carbon curve (clean "
+            "nights, dirty evening ramp)"
+        ),
         workload=WorkloadSpec(
             classes=(
                 JobClassSpec(
@@ -221,7 +230,10 @@ CARBON_AWARE_DIURNAL = register(
 TOU_PRICE_SHIFT = register(
     ScenarioSpec(
         name="tou-price-shift",
-        description="Time-of-use pricing: 4x peak tariff 16-21h over the paper's workload",
+        description=(
+            "Time-of-use pricing: 4x peak tariff 16-21h over the "
+            "paper's workload"
+        ),
         tariff=TariffModel.time_of_use(
             peak_start_hour=16.0,
             peak_end_hour=21.0,
@@ -234,7 +246,10 @@ TOU_PRICE_SHIFT = register(
 CORRELATED_FLEET = register(
     ScenarioSpec(
         name="correlated-fleet",
-        description="Two bursty tenants fully burst-coupled: every peak lands on the same minutes",
+        description=(
+            "Two bursty tenants fully burst-coupled: every peak lands "
+            "on the same minutes"
+        ),
         workload=WorkloadSpec(
             classes=(
                 JobClassSpec(
@@ -273,7 +288,10 @@ _SITE_FLEET = FleetSpec(classes=(ServerClassSpec("standard", 10),))
 FEDERATED_CORRELATED = register(
     ScenarioSpec(
         name="federated-correlated",
-        description="Three-site federation under fully burst-coupled regional streams; least-loaded cross-site dispatch",
+        description=(
+            "Three-site federation under fully burst-coupled regional "
+            "streams; least-loaded cross-site dispatch"
+        ),
         workload=WorkloadSpec(
             classes=(
                 JobClassSpec(
@@ -313,7 +331,10 @@ _TOU = TariffModel.time_of_use(
 FOLLOW_THE_SUN = register(
     ScenarioSpec(
         name="follow-the-sun",
-        description="Three time zones, shifted time-of-use tariffs; price-greedy dispatch chases the off-peak site",
+        description=(
+            "Three time zones, shifted time-of-use tariffs; "
+            "price-greedy dispatch chases the off-peak site"
+        ),
         workload=WorkloadSpec(
             classes=(
                 JobClassSpec(
@@ -335,7 +356,10 @@ FOLLOW_THE_SUN = register(
 FAILURE_STORM = register(
     ScenarioSpec(
         name="failure-storm",
-        description="The paper's cluster under unplanned fire: crashes, flaky jobs, and stragglers",
+        description=(
+            "The paper's cluster under unplanned fire: crashes, flaky "
+            "jobs, and stragglers"
+        ),
         faults=FaultSpec(
             crashes_per_server=1.5,
             crash_recovery_fraction=0.04,
@@ -351,7 +375,10 @@ FAILURE_STORM = register(
 DEGRADED_FEDERATION = register(
     ScenarioSpec(
         name="degraded-federation",
-        description="Three-site federation losing whole sites to staggered outage windows; flaky jobs throughout",
+        description=(
+            "Three-site federation losing whole sites to staggered "
+            "outage windows; flaky jobs throughout"
+        ),
         sites=(
             # Same grid spread as federated-correlated so dashboards can
             # compare the healthy and degraded fleets like-for-like.

@@ -1036,20 +1036,29 @@ class ScenarioSpec:
         Labels are cosmetic — scenarios that differ only in naming
         simulate identically — so the scenario ``name``/``description``
         and the job/server class names are excluded, keeping cached
-        results stable across renames. A replay workload additionally
-        keys the trace *files* (path, size, mtime per resolved file):
-        editing or replacing a trace file must invalidate the results
-        computed from its old contents, not silently serve them.
+        results stable across renames. A null :class:`FaultSpec` (one
+        whose :meth:`~repro.faults.spec.FaultSpec.is_null` is true)
+        injects nothing, so it is normalized to ``None``: fault-free
+        specs stay keyless however they were spelled, and adding
+        ``faults=FaultSpec()`` never invalidates a fault-free cache. A
+        replay workload additionally keys the trace *files* (path, size,
+        mtime per resolved file): editing or replacing a trace file must
+        invalidate the results computed from its old contents, not
+        silently serve them.
         """
         payload = asdict(self)
         payload.pop("name")
         payload.pop("description")
+        if self.faults is not None and self.faults.is_null():
+            payload["faults"] = None
         for cls in payload["workload"]["classes"]:
             cls.pop("name")
         for cls in payload["fleet"]["classes"]:
             cls.pop("name")
-        for site in payload["sites"]:
+        for spec, site in zip(self.sites, payload["sites"]):
             site.pop("name")
+            if spec.faults is not None and spec.faults.is_null():
+                site["faults"] = None
             for cls in site["fleet"]["classes"]:
                 cls.pop("name")
         if self.workload.replay is not None:

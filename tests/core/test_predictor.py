@@ -83,8 +83,12 @@ class TestTransforms:
 
     def test_linear_mode(self, rng):
         p = WorkloadPredictor(
-            PredictorConfig(lookback=5, min_interarrival=0.0001 + 1, max_interarrival=11.0,
-                            log_scale=False),
+            PredictorConfig(
+                lookback=5,
+                min_interarrival=1.0001,
+                max_interarrival=11.0,
+                log_scale=False,
+            ),
             rng=rng,
         )
         mid = p.transform(np.array([(1.0001 + 11.0) / 2]))

@@ -7,7 +7,11 @@ from hypothesis import strategies as st
 
 from repro.core.config import PredictorConfig
 from repro.core.predictor import WorkloadPredictor
-from repro.core.rewards import GlobalRewardWeights, global_reward_rate, local_reward_rate
+from repro.core.rewards import (
+    GlobalRewardWeights,
+    global_reward_rate,
+    local_reward_rate,
+)
 from repro.rl.smdp import smdp_discounted_reward, smdp_target
 
 finite = st.floats(allow_nan=False, allow_infinity=False)

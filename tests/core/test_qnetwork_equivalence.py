@@ -40,7 +40,9 @@ class TestPredictEquivalence:
         states = random_states(net, batch, rng)
         assert np.array_equal(net.predict(states), net.predict_loop(states))
 
-    @pytest.mark.parametrize("num_servers,num_groups", [(4, 2), (8, 4), (30, 3), (5, 1)])
+    @pytest.mark.parametrize(
+        "num_servers,num_groups", [(4, 2), (8, 4), (30, 3), (5, 1)]
+    )
     def test_across_geometries(self, num_servers, num_groups, rng):
         net = make_net(num_servers, num_groups)
         states = random_states(net, 5, rng)

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.core.rewards import GlobalRewardWeights, global_reward_rate, local_reward_rate
+from repro.core.rewards import (
+    GlobalRewardWeights,
+    global_reward_rate,
+    local_reward_rate,
+)
 
 
 class TestGlobalReward:

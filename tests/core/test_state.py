@@ -17,7 +17,9 @@ class NeverSleep(PowerPolicy):
 
 
 def make_cluster(n, initially_on=True):
-    return Cluster(n, PowerModel(), EventQueue(), NeverSleep(), initially_on=initially_on)
+    return Cluster(
+        n, PowerModel(), EventQueue(), NeverSleep(), initially_on=initially_on
+    )
 
 
 class TestGeometry:

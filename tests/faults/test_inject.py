@@ -212,7 +212,12 @@ class TestDegradedRouting:
         engine = one_site(num_servers=2, broker=PickServer(0))
         runtime = install_faults(
             engine,
-            [plan(FaultSpec(retry_backoff_s=5.0), crashes=(CrashEvent(0.0, 0, 500.0),))],
+            [
+                plan(
+                    FaultSpec(retry_backoff_s=5.0),
+                    crashes=(CrashEvent(0.0, 0, 500.0),),
+                )
+            ],
         )
         result = engine.run([jobs_burst(8, spacing=10.0, offset=1.0)])
         assert result.sites[0].metrics.n_completed == 8
@@ -264,7 +269,12 @@ class TestDegradedRouting:
         engine = one_site(num_servers=1)
         result_engine = install_faults(
             engine,
-            [plan(FaultSpec(retry_backoff_s=5.0), crashes=(CrashEvent(0.0, 0, 200.0),))],
+            [
+                plan(
+                    FaultSpec(retry_backoff_s=5.0),
+                    crashes=(CrashEvent(0.0, 0, 200.0),),
+                )
+            ],
         )
         result = engine.run([jobs_burst(4, offset=1.0)])
         assert result.sites[0].metrics.n_completed == 4

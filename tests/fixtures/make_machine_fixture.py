@@ -43,7 +43,14 @@ def main() -> None:
     rows: list[tuple[int, str]] = [(0, _row(0, m, 0)) for m in machines]
 
     # Six closed maintenance drains (one machine gets two cycles).
-    cycles = [machines[1], machines[3], machines[5], machines[8], machines[8], machines[10]]
+    cycles = [
+        machines[1],
+        machines[3],
+        machines[5],
+        machines[8],
+        machines[8],
+        machines[10],
+    ]
     t = 600.0
     for machine in cycles:
         down = float(rng.uniform(300.0, 1800.0))

@@ -41,7 +41,9 @@ class TestNeedsGlobalTier:
 
 
 class TestMakeSystem:
-    @pytest.mark.parametrize("name", ["round-robin", "random", "least-loaded", "packing"])
+    @pytest.mark.parametrize(
+        "name", ["round-robin", "random", "least-loaded", "packing"]
+    )
     def test_static_baselines_build(self, small_config, name):
         system = make_system(name, small_config)
         assert system.name == name
@@ -84,7 +86,9 @@ class TestMakeSystem:
 
 
 class TestCloneGlobalBroker:
-    def test_same_predictions_independent_training(self, small_config, train_traces, rng):
+    def test_same_predictions_independent_training(
+        self, small_config, train_traces, rng
+    ):
         proto = train_global_prototype(
             small_config, train_traces, pretrain=False, online_epochs=1
         )

@@ -81,5 +81,6 @@ class TestFrontierSavings:
 class TestRender:
     def test_csv(self, synthetic_points):
         text = render_tradeoff_csv(synthetic_points)
-        assert text.splitlines()[0] == "curve,parameter,energy_wh_per_job,mean_latency_s"
+        header = "curve,parameter,energy_wh_per_job,mean_latency_s"
+        assert text.splitlines()[0] == header
         assert len(text.splitlines()) == 7

@@ -1,0 +1,30 @@
+"""Shared fixture helpers for the auditor tests.
+
+Rules scope on package-relative paths, so fixture trees are laid out
+like the package (``sim/``, ``obs/``, ``scenarios/``) under a tmp root
+passed to :func:`repro.lint.run_lint` via ``root=``.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """Write dedented sources into a package-shaped tmp tree and lint it."""
+
+    def write(rel: str, source: str) -> Path:
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    write.root = tmp_path
+    return write
+
+
+def rule_ids(report):
+    """The rule ids of a report's findings, in report order."""
+    return [finding.rule for finding in report.findings]

@@ -1,0 +1,181 @@
+"""Engine mechanics: discovery, selection, suppressions, renderers."""
+
+import json
+
+import pytest
+
+from repro.lint import LintUsageError, run_lint
+from repro.lint.engine import package_relative
+
+from tests.lint.conftest import rule_ids
+
+
+def lint(tree, **kwargs):
+    return run_lint([tree.root], root=tree.root, **kwargs)
+
+
+class TestDiscoveryAndExitCodes:
+    def test_clean_tree_exits_zero(self, tree):
+        tree("sim/engine.py", "x = 1\n")
+        report = lint(tree)
+        assert report.exit_code == 0
+        assert report.findings == []
+        assert report.n_files == 1
+
+    def test_findings_exit_one(self, tree):
+        tree("sim/engine.py", "import random\n")
+        assert lint(tree).exit_code == 1
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        with pytest.raises(LintUsageError, match="does not exist"):
+            run_lint([tmp_path / "nope"], root=tmp_path)
+
+    def test_unknown_rule_is_a_usage_error(self, tree):
+        tree("sim/engine.py", "x = 1\n")
+        with pytest.raises(LintUsageError, match="REP999"):
+            lint(tree, select=["REP999"])
+
+    def test_pycache_is_skipped(self, tree):
+        tree("sim/engine.py", "x = 1\n")
+        tree("sim/__pycache__/junk.py", "import random\n")
+        assert lint(tree).n_files == 1
+
+    def test_duplicate_paths_deduplicate(self, tree):
+        path = tree("sim/engine.py", "x = 1\n")
+        report = run_lint([tree.root, path], root=tree.root)
+        assert report.n_files == 1
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tree):
+        tree("sim/broken.py", "def f(:\n")
+        report = lint(tree)
+        assert report.exit_code == 1
+        assert report.parse_errors == 1
+        assert rule_ids(report) == ["REP000"]
+
+    def test_select_runs_only_named_rules(self, tree):
+        tree(
+            "sim/engine.py",
+            """
+            import random
+            import time
+
+            def f():
+                return time.time()
+            """,
+        )
+        assert rule_ids(lint(tree, select=["REP001"])) == ["REP001"]
+        assert rule_ids(lint(tree, select=["REP002"])) == ["REP002"]
+
+
+class TestPackageRelative:
+    def test_cuts_at_deepest_repro_dir(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "sim" / "engine.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("x = 1\n")
+        assert package_relative(path, None) == "sim/engine.py"
+
+    def test_explicit_root_wins(self, tmp_path):
+        path = tmp_path / "sim" / "engine.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("x = 1\n")
+        assert package_relative(path, tmp_path) == "sim/engine.py"
+
+
+class TestSuppressionHygiene:
+    def test_missing_reason_is_a_finding_and_does_not_suppress(self, tree):
+        tree("sim/engine.py", "import random  # repro: allow[REP001]\n")
+        report = lint(tree)
+        assert sorted(rule_ids(report)) == ["REP000", "REP001"]
+
+    def test_unknown_rule_id_is_a_finding(self, tree):
+        tree("sim/engine.py", "x = 1  # repro: allow[REP042] — why not\n")
+        report = lint(tree)
+        assert rule_ids(report) == ["REP000"]
+        assert "unknown rule" in report.findings[0].message
+
+    def test_malformed_comment_is_a_finding(self, tree):
+        tree("sim/engine.py", "x = 1  # repro: allwo[REP001] — typo\n")
+        report = lint(tree)
+        assert rule_ids(report) == ["REP000"]
+        assert "malformed" in report.findings[0].message
+
+    def test_stale_suppression_is_a_finding(self, tree):
+        tree("sim/engine.py", "x = 1  # repro: allow[REP001] — nothing here\n")
+        report = lint(tree)
+        assert rule_ids(report) == ["REP000"]
+        assert "unused" in report.findings[0].message
+
+    def test_rep000_cannot_be_suppressed(self, tree):
+        tree("sim/engine.py", "x = 1  # repro: allow[REP000] — meta\n")
+        report = lint(tree)
+        assert rule_ids(report) == ["REP000"]
+        assert "cannot" in report.findings[0].message
+
+    def test_multi_rule_allow_covers_both(self, tree):
+        tree(
+            "sim/engine.py",
+            """
+            import time
+
+            import numpy as np
+
+            def f():
+                np.random.seed(int(time.time()))  # repro: allow[REP001, REP002] — demo
+            """,
+        )
+        report = lint(tree)
+        assert report.findings == []
+        assert report.suppressions_used == 2
+
+    def test_docstring_mention_is_not_a_suppression(self, tree):
+        tree(
+            "sim/engine.py",
+            '''
+            """Write: # repro: allow[REP001] — reason."""
+            x = 1
+            ''',
+        )
+        assert lint(tree).findings == []
+
+    def test_select_subset_does_not_flag_other_rules_allows(self, tree):
+        # A REP002 allow is not "stale" on a run that never ran REP002.
+        tree(
+            "sim/engine.py",
+            """
+            import time
+
+            def f():
+                return time.time()  # repro: allow[REP002] — benchmark harness
+            """,
+        )
+        assert lint(tree, select=["REP001"]).findings == []
+
+
+class TestRenderers:
+    def test_text_lists_findings_with_locations(self, tree):
+        path = tree("sim/engine.py", "import random\n")
+        text = lint(tree).render_text()
+        assert f"{path}:1:0 REP001" in text
+        assert "1 finding(s) in 1 file(s) (REP001 x1)" in text
+
+    def test_text_clean_summary(self, tree):
+        tree("sim/engine.py", "x = 1\n")
+        assert "clean: 1 file(s)" in lint(tree).render_text()
+
+    def test_json_shape(self, tree):
+        tree("sim/engine.py", "import random\n")
+        payload = json.loads(lint(tree).render_json())
+        assert payload["version"] == 1
+        assert payload["files"] == 1
+        assert payload["counts"] == {"REP001": 1}
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "REP001"
+        assert finding["line"] == 1
+        assert finding["path"].endswith("sim/engine.py")
+
+    def test_findings_sorted_by_location(self, tree):
+        tree("sim/a.py", "import random\n")
+        tree("sim/b.py", "import random\nimport random\n")
+        report = lint(tree)
+        keys = [(f.path, f.line) for f in report.findings]
+        assert keys == sorted(keys)

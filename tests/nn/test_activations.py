@@ -13,7 +13,15 @@ from repro.nn.activations import (
     get_activation,
 )
 
-ALL_ACTIVATIONS = [Identity(), ReLU(), ELU(), ELU(alpha=0.5), Sigmoid(), Tanh(), Softplus()]
+ALL_ACTIVATIONS = [
+    Identity(),
+    ReLU(),
+    ELU(),
+    ELU(alpha=0.5),
+    Sigmoid(),
+    Tanh(),
+    Softplus(),
+]
 
 
 def _check_derivative(act, z):

@@ -33,7 +33,8 @@ class TestMSE:
 
 class TestMAE:
     def test_value(self):
-        assert MAELoss().forward(np.array([2.0, -2.0]), np.zeros(2)) == pytest.approx(2.0)
+        mae = MAELoss().forward(np.array([2.0, -2.0]), np.zeros(2))
+        assert mae == pytest.approx(2.0)
 
     def test_gradient_matches_numerical_away_from_zero(self, rng):
         loss = MAELoss()

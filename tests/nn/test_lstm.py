@@ -97,7 +97,9 @@ class TestNetwork:
             LSTMNetwork(init="kaiming", rng=rng)
 
     def test_bptt_gradcheck(self, rng):
-        net = LSTMNetwork(input_dim=1, hidden_dim=3, output_dim=1, cell_input_dim=2, rng=rng)
+        net = LSTMNetwork(
+            input_dim=1, hidden_dim=3, output_dim=1, cell_input_dim=2, rng=rng
+        )
         x = rng.normal(size=(2, 4, 1))
         target = rng.normal(size=(2, 1))
 
@@ -127,7 +129,8 @@ class TestLearning:
         t = np.arange(500) * 0.3
         series = 0.5 + 0.4 * np.sin(t)
         look = 8
-        x = np.stack([series[i : i + look] for i in range(len(series) - look)])[:, :, None]
+        windows = [series[i : i + look] for i in range(len(series) - look)]
+        x = np.stack(windows)[:, :, None]
         y = series[look:][:, None]
         net = LSTMNetwork(input_dim=1, hidden_dim=8, rng=rng)
         history = net.fit(x, y, epochs=15, lr=5e-3, rng=rng)
@@ -143,7 +146,8 @@ class TestLearning:
         # prediction and trivial for a memory cell.
         series = np.tile([0.2, 0.8], 300).astype(float)
         look = 6
-        x = np.stack([series[i : i + look] for i in range(len(series) - look)])[:, :, None]
+        windows = [series[i : i + look] for i in range(len(series) - look)]
+        x = np.stack(windows)[:, :, None]
         y = series[look:][:, None]
         net = LSTMNetwork(input_dim=1, hidden_dim=6, rng=rng)
         net.fit(x, y, epochs=20, lr=1e-2, rng=rng)

@@ -15,7 +15,12 @@ class TestConstruction:
         assert mlp.out_features == 2
 
     def test_hidden_vs_output_activation(self, rng):
-        mlp = MLP([2, 4, 1], hidden_activation="elu", output_activation="identity", rng=rng)
+        mlp = MLP(
+            [2, 4, 1],
+            hidden_activation="elu",
+            output_activation="identity",
+            rng=rng,
+        )
         assert mlp.layers[0].activation.name == "elu"
         assert mlp.layers[1].activation.name == "identity"
 
@@ -90,7 +95,9 @@ class TestSharing:
         b = MLP([2, 4, 1], rng=rng)
         b.share_with(a)
         assert b.predict(np.ones((1, 2))) == pytest.approx(a.predict(np.ones((1, 2))))
-        assert len(set(id(p) for p in a.parameters()) ^ set(id(p) for p in b.parameters())) == 0
+        ids_a = set(id(p) for p in a.parameters())
+        ids_b = set(id(p) for p in b.parameters())
+        assert len(ids_a ^ ids_b) == 0
 
     def test_share_with_shape_mismatch(self, rng):
         a = MLP([2, 4, 1], rng=rng)

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.rl.policies import DecayingEpsilonGreedy, EpsilonGreedy, epsilon_greedy_choice
+from repro.rl.policies import (
+    DecayingEpsilonGreedy,
+    EpsilonGreedy,
+    epsilon_greedy_choice,
+)
 
 
 class TestEpsilonGreedyChoice:

@@ -73,7 +73,9 @@ class TestExperimentConfig:
             description="",
             fleet=FleetSpec(
                 classes=(
-                    ServerClassSpec("new", 2, PowerModel(idle_power=50, peak_power=100)),
+                    ServerClassSpec(
+                        "new", 2, PowerModel(idle_power=50, peak_power=100)
+                    ),
                     ServerClassSpec("old", 2, PowerModel()),
                 )
             ),
@@ -105,7 +107,8 @@ class TestTraces:
         assert len(eval_jobs) == 250
         assert len(train) == 2
         assert train[0] != train[1]
-        assert [j.duration for j in train[0][:20]] != [j.duration for j in eval_jobs[:20]]
+        trained = [j.duration for j in train[0][:20]]
+        assert trained != [j.duration for j in eval_jobs[:20]]
 
     def test_capacity_events_scale_with_horizon(self):
         window = CapacityWindowSpec(0.5, 0.1, servers=(0, 1))
@@ -148,7 +151,11 @@ class TestContentKey:
             name="s",
             description="d",
             fleet=FleetSpec(
-                classes=(ServerClassSpec("x", 2, PowerModel(idle_power=50, peak_power=99)),)
+                classes=(
+                    ServerClassSpec(
+                        "x", 2, PowerModel(idle_power=50, peak_power=99)
+                    ),
+                )
             ),
             capacity_windows=(CapacityWindowSpec(0.1, 0.1, servers=(0,)),),
         )
@@ -464,7 +471,8 @@ class TestStridedCoverage:
         # last pick sits at the tail of the recording, not its head.
         assert {j.duration for j in eval_jobs} == {100.0 + i for i in range(0, 40, 4)}
         assert [len(s) for s in segments] == [5]
-        assert {j.duration for j in segments[0]} == {100.0 + i for i in (1, 5, 9, 13, 17)}
+        expected = {100.0 + i for i in (1, 5, 9, 13, 17)}
+        assert {j.duration for j in segments[0]} == expected
 
     def test_stale_parse_is_replaced_not_retained(self, tmp_path):
         import os

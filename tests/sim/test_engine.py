@@ -14,37 +14,49 @@ def jobs_burst(n, spacing=10.0, duration=50.0, cpu=0.3):
 
 class TestRun:
     def test_all_jobs_complete(self):
-        engine = build_simulation(2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
+        engine = build_simulation(
+            2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+        )
         jobs = jobs_burst(10)
         result = engine.run(jobs)
         assert result.metrics.n_completed == 10
         assert all(j.completed for j in jobs)
 
     def test_round_robin_alternates(self):
-        engine = build_simulation(2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
+        engine = build_simulation(
+            2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+        )
         jobs = jobs_burst(4)
         engine.run(jobs)
         assert [j.server_id for j in jobs] == [0, 1, 0, 1]
 
     def test_no_wait_latency_equals_duration(self):
-        engine = build_simulation(4, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
+        engine = build_simulation(
+            4, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+        )
         jobs = jobs_burst(4, spacing=100.0, duration=50.0, cpu=0.2)
         result = engine.run(jobs)
         assert result.mean_latency == pytest.approx(50.0)
 
     def test_max_jobs_limits_feed(self):
-        engine = build_simulation(2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
+        engine = build_simulation(
+            2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+        )
         result = engine.run(jobs_burst(10), max_jobs=3)
         assert result.metrics.n_arrived == 3
         assert result.metrics.n_completed == 3
 
     def test_generator_stream_accepted(self):
-        engine = build_simulation(2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
+        engine = build_simulation(
+            2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+        )
         result = engine.run(iter(jobs_burst(5)))
         assert result.metrics.n_completed == 5
 
     def test_unsorted_trace_raises(self):
-        engine = build_simulation(2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
+        engine = build_simulation(
+            2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+        )
         bad = [
             Job(0, 100.0, 10.0, (0.1, 0.1, 0.1)),
             Job(1, 50.0, 10.0, (0.1, 0.1, 0.1)),
@@ -62,12 +74,16 @@ class TestRun:
             engine.run(jobs_burst(1))
 
     def test_empty_trace(self):
-        engine = build_simulation(2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
+        engine = build_simulation(
+            2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+        )
         result = engine.run([])
         assert result.metrics.n_completed == 0
 
     def test_final_time_covers_last_completion(self):
-        engine = build_simulation(1, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
+        engine = build_simulation(
+            1, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+        )
         jobs = [Job(0, 0.0, 123.0, (0.5, 0.1, 0.1))]
         result = engine.run(jobs)
         assert result.final_time >= 123.0
@@ -89,7 +105,9 @@ class TestDeterminism:
 
 class TestEnergyConsistency:
     def test_metrics_energy_matches_cluster(self):
-        engine = build_simulation(2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
+        engine = build_simulation(
+            2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+        )
         result = engine.run(jobs_burst(6))
         cluster_kwh = result.cluster.total_energy() / 3.6e6
         assert result.total_energy_kwh == pytest.approx(cluster_kwh)
@@ -97,15 +115,21 @@ class TestEnergyConsistency:
     def test_always_on_energy_floor(self):
         # Two always-on servers must burn at least idle power for the
         # whole makespan.
-        engine = build_simulation(2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
+        engine = build_simulation(
+            2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+        )
         result = engine.run(jobs_burst(6))
         floor = 2 * 87.0 * result.final_time / 3.6e6
         assert result.total_energy_kwh >= floor * 0.999
 
     def test_sleeping_saves_energy(self):
         jobs = jobs_burst(6, spacing=500.0, duration=50.0)
-        on = build_simulation(2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
-        off = build_simulation(2, RoundRobinBroker(), ImmediateSleepPolicy(), initially_on=False)
+        on = build_simulation(
+            2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+        )
+        off = build_simulation(
+            2, RoundRobinBroker(), ImmediateSleepPolicy(), initially_on=False
+        )
         r_on = on.run([j.copy() for j in jobs])
         r_off = off.run([j.copy() for j in jobs])
         assert r_off.total_energy_kwh < r_on.total_energy_kwh

@@ -83,7 +83,10 @@ class TestFederationEngine:
 
     def test_unsorted_stream_raises(self):
         engine = two_sites()
-        bad = [Job(0, 100.0, 10.0, (0.1, 0.1, 0.1)), Job(1, 50.0, 10.0, (0.1, 0.1, 0.1))]
+        bad = [
+            Job(0, 100.0, 10.0, (0.1, 0.1, 0.1)),
+            Job(1, 50.0, 10.0, (0.1, 0.1, 0.1)),
+        ]
         with pytest.raises(ValueError, match="sorted"):
             engine.run([bad, []])
 

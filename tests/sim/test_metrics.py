@@ -107,7 +107,9 @@ class TestTariffIntegration:
     def test_flat_tariff_cost_matches_energy(self):
         from repro.sim.power import TariffModel
 
-        m = MetricsCollector(record_every=1, tariff=TariffModel(price=0.20, carbon=100.0))
+        m = MetricsCollector(
+            record_every=1, tariff=TariffModel(price=0.20, carbon=100.0)
+        )
         m.on_completion(done_job(1, 0.0, 0.0, 10.0), 10.0, JOULES_PER_KWH)
         m.on_completion(done_job(2, 0.0, 0.0, 20.0), 20.0, 3 * JOULES_PER_KWH)
         m.close(20.0, 3 * JOULES_PER_KWH)
@@ -131,7 +133,9 @@ class TestTariffIntegration:
     def test_series_carries_cost_and_co2(self):
         from repro.sim.power import TariffModel
 
-        m = MetricsCollector(record_every=1, tariff=TariffModel(price=0.10, carbon=500.0))
+        m = MetricsCollector(
+            record_every=1, tariff=TariffModel(price=0.10, carbon=500.0)
+        )
         m.on_completion(done_job(1, 0.0, 0.0, 10.0), 10.0, JOULES_PER_KWH)
         m.on_completion(done_job(2, 0.0, 0.0, 20.0), 20.0, 2 * JOULES_PER_KWH)
         m.close(20.0, 2 * JOULES_PER_KWH)

@@ -141,7 +141,10 @@ class TestTariffModel:
 
         t = TariffModel(
             carbon=420.0,
-            carbon_windows=((0.0, 6 * 3600.0, 180.0), (17 * 3600.0, 21 * 3600.0, 520.0)),
+            carbon_windows=(
+                (0.0, 6 * 3600.0, 180.0),
+                (17 * 3600.0, 21 * 3600.0, 520.0),
+            ),
         )
         assert t.carbon_at(3 * 3600.0) == pytest.approx(180.0)
         assert t.carbon_at(12 * 3600.0) == pytest.approx(420.0)

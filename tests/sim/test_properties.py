@@ -99,7 +99,9 @@ def test_integrals_non_negative_and_consistent(trace):
 def test_system_integral_equals_total_latency(trace):
     # Little's law bookkeeping: the time integral of jobs-in-system equals
     # the sum of job latencies (arrival->completion) exactly.
-    engine = build_simulation(3, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
+    engine = build_simulation(
+        3, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+    )
     jobs = [j.copy() for j in trace]
     result = engine.run(jobs)
     total_latency = sum(j.latency for j in jobs)
@@ -125,7 +127,9 @@ def test_random_broker_in_range(trace, seed):
 @given(trace=job_traces())
 def test_fcfs_start_order_per_server(trace):
     # On each server, start times follow assignment order (strict FCFS).
-    engine = build_simulation(2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True)
+    engine = build_simulation(
+        2, RoundRobinBroker(), AlwaysOnPolicy(), initially_on=True
+    )
     jobs = [j.copy() for j in trace]
     engine.run(jobs)
     per_server: dict[int, list[Job]] = {}

@@ -307,7 +307,10 @@ class TestPolicyInterface:
         policy = ScriptedPolicy(timeouts=[PowerPolicy.NEVER] * 5)
         server, events = make_server(policy)
         for i in range(4):
-            events.schedule(float(i), lambda t, i=i: server.assign(job(i, float(i), 5.0, 0.1), t))
+            events.schedule(
+                float(i),
+                lambda t, i=i: server.assign(job(i, float(i), 5.0, 0.1), t),
+            )
         events.run_until_empty()
         assert [jid for jid, _ in policy.assigned] == [0, 1, 2, 3]
 

@@ -183,7 +183,8 @@ class TestGoogleIncarnations:
         ]
         path.write_text("\n".join(rows) + "\n")
         jobs = read_google_task_events([path])
-        assert [j.duration for j in jobs] == [pytest.approx(100.0), pytest.approx(200.0)]
+        expected = [pytest.approx(100.0), pytest.approx(200.0)]
+        assert [j.duration for j in jobs] == expected
         assert jobs[0].resources == (0.5, 0.2, 0.1)
         assert jobs[1].resources == (0.3, 0.3, 0.3)
 
@@ -199,7 +200,8 @@ class TestGoogleIncarnations:
         ]
         path.write_text("\n".join(rows) + "\n")
         jobs = read_google_task_events([path])
-        assert [j.duration for j in jobs] == [pytest.approx(100.0), pytest.approx(200.0)]
+        expected = [pytest.approx(100.0), pytest.approx(200.0)]
+        assert [j.duration for j in jobs] == expected
 
     def test_filtered_incarnation_does_not_consume_the_next(self, tmp_path):
         # Incarnation A is too short to keep, but its FINISH must still
@@ -273,7 +275,8 @@ class TestStreamingMerge:
             t = t0 + float(rng.uniform(0.0, span))
             d = float(rng.uniform(90.0, 2000.0))
             job_id = id_base + i
-            rows.append((int(t * 1e6), google_row(int(t * 1e6), job_id, 0, 0.4, 0.2, 0.1)))
+            ts = int(t * 1e6)
+            rows.append((ts, google_row(ts, job_id, 0, 0.4, 0.2, 0.1)))
             t1 = int((t + d) * 1e6)
             rows.append((t1, google_row(t1, job_id, 4, 0.4, 0.2, 0.1)))
         return rows
